@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the NDlog engine: packet-processing
+//! throughput with and without provenance capture (the per-packet cost
+//! behind the Section 6.4 latency numbers).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_replay::Execution;
+use dp_sdn::{cfg_entry, generate, sdn_program, Topology, TraceConfig};
+use dp_types::prefix::cidr;
+use dp_types::NodeId;
+
+fn pipeline_exec(packets: usize) -> Execution {
+    let mut topo = Topology::new("ctl");
+    topo.switches(&["S1", "S2"]);
+    topo.link("S1", "S2");
+    let p_host = topo.host("S2", "sink");
+    let program = sdn_program("ctl").unwrap();
+    let mut exec = Execution::new(Arc::clone(&program));
+    topo.emit(&mut exec.log, 10);
+    let ctl = NodeId::new("ctl");
+    let any = cidr("0.0.0.0/0");
+    exec.log.insert(
+        10,
+        ctl.clone(),
+        cfg_entry(1, "S1", 1, any, any, topo.port_towards("S1", "S2")),
+    );
+    exec.log.insert(10, ctl, cfg_entry(2, "S2", 1, any, any, p_host));
+    let trace = generate(&TraceConfig {
+        packets,
+        ..Default::default()
+    });
+    let mut t = 100u64;
+    for p in trace.packets {
+        exec.log.insert(t, "S1", p);
+        t += 1;
+    }
+    exec
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for &packets in &[500usize, 2_000] {
+        let exec = pipeline_exec(packets);
+        group.bench_with_input(
+            BenchmarkId::new("replay_no_capture", packets),
+            &exec,
+            |b, exec| b.iter(|| exec.replay_null().unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("replay_with_capture", packets),
+            &exec,
+            |b, exec| b.iter(|| exec.replay().unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_packet(c: &mut Criterion) {
+    // Marginal cost of one more packet, both modes.
+    let small = pipeline_exec(100);
+    let large = pipeline_exec(101);
+    c.bench_function("engine/marginal_packet", |b| {
+        b.iter(|| {
+            let a = small.replay_null().unwrap().stats().events;
+            let z = large.replay_null().unwrap().stats().events;
+            criterion::black_box(z - a)
+        })
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_single_packet);
+criterion_main!(benches);

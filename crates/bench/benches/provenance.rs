@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the provenance layer: tree extraction, the
+//! plain-diff strawman, and checkpointed vs. full replay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dp_provenance::plain_tree_diff;
+
+fn bench_extraction_and_diff(c: &mut Criterion) {
+    let scenario = dp_sdn::sdn1();
+    let replayed = scenario.good_exec.replay().unwrap();
+    let good = replayed
+        .query_at(&scenario.good_event.tref, scenario.good_event.at)
+        .unwrap();
+    let bad = replayed
+        .query_at(&scenario.bad_event.tref, scenario.bad_event.at)
+        .unwrap();
+
+    c.bench_function("provenance/extract_tree", |b| {
+        b.iter(|| {
+            let t = replayed
+                .query_at(&scenario.good_event.tref, scenario.good_event.at)
+                .unwrap();
+            criterion::black_box(t.len())
+        })
+    });
+    c.bench_function("provenance/plain_tree_diff", |b| {
+        b.iter(|| criterion::black_box(plain_tree_diff(&good, &bad).len()))
+    });
+}
+
+fn bench_checkpointed_replay(c: &mut Criterion) {
+    let scenario = dp_sdn::sdn1();
+    let exec = &scenario.good_exec;
+    let store = exec.build_checkpoints(16).unwrap();
+    let horizon = exec.log.horizon();
+
+    let mut group = c.benchmark_group("replay");
+    group.sample_size(20);
+    group.bench_function("full", |b| {
+        b.iter(|| criterion::black_box(exec.replay().unwrap().now()))
+    });
+    group.bench_function("from_checkpoint", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                exec.replay_from_checkpoint(&store, horizon)
+                    .unwrap()
+                    .now(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction_and_diff, bench_checkpointed_replay);
+criterion_main!(benches);

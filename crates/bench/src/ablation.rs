@@ -1,0 +1,222 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! 1. **Butterfly effect vs. path length** — quantifies Section 2.5: the
+//!    same one-entry fault, planted at the first hop of increasingly long
+//!    forwarding chains. The plain tree diff grows linearly with the
+//!    divergent path; DiffProv's answer stays at one tuple.
+//! 2. **Noise insensitivity** — scales the campus network's forwarding
+//!    tables and background traffic; the change set stays fixed because
+//!    provenance only follows causally related state.
+//! 3. **Checkpoint interval** — the replay-time/storage trade-off behind
+//!    the query-time capture approach.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use diffprov_core::{QueryEvent, Scenario};
+use dp_replay::Execution;
+use dp_sdn::{campus, cfg_entry, deliver_at, pkt_in, sdn_program, CampusConfig, Topology};
+use dp_types::prefix::{cidr, ip};
+use dp_types::{NodeId, Result};
+
+/// One row of the butterfly-effect ablation.
+#[derive(Clone, Debug)]
+pub struct ButterflyRow {
+    /// Number of switches after the divergence point.
+    pub hops: usize,
+    /// Good-tree vertexes.
+    pub good: usize,
+    /// Bad-tree vertexes.
+    pub bad: usize,
+    /// Plain-diff vertexes.
+    pub plain_diff: usize,
+    /// DiffProv's answer size.
+    pub diffprov: usize,
+}
+
+/// Builds an SDN1-style scenario where the good and bad paths each run
+/// through `hops` dedicated switches after the faulty hop.
+pub fn butterfly_scenario(hops: usize) -> Scenario {
+    assert!(hops >= 1);
+    let mut topo = Topology::new("ctl");
+    topo.switch("S1");
+    // Two disjoint chains: G1..Gn -> web1, B1..Bn -> web2.
+    for i in 1..=hops {
+        topo.switch(&format!("G{i}"));
+        topo.switch(&format!("B{i}"));
+    }
+    topo.link("S1", "G1");
+    topo.link("S1", "B1");
+    for i in 1..hops {
+        let (ga, gb) = (format!("G{i}"), format!("G{}", i + 1));
+        topo.link(&ga, &gb);
+        let (ba, bb) = (format!("B{i}"), format!("B{}", i + 1));
+        topo.link(&ba, &bb);
+    }
+    let _p_web1 = topo.host(&format!("G{hops}"), "web1");
+    let _p_web2 = topo.host(&format!("B{hops}"), "web2");
+
+    let program = sdn_program("ctl").expect("program builds");
+    let mut exec = Execution::new(program);
+    topo.emit(&mut exec.log, 10);
+    let ctl = NodeId::new("ctl");
+    let any = cidr("0.0.0.0/0");
+    let mut rid = 100;
+    let mut cfg = |exec: &mut Execution, sw: &str, prio, sm, port| {
+        exec.log
+            .insert(10, ctl.clone(), cfg_entry(rid, sw, prio, sm, any, port));
+        rid += 1;
+    };
+    // The fault at S1: the specific rule towards the good chain is /24
+    // instead of /23; the fallback goes down the bad chain.
+    cfg(&mut exec, "S1", 10, cidr("4.3.2.0/24"), topo.port_towards("S1", "G1"));
+    cfg(&mut exec, "S1", 1, any, topo.port_towards("S1", "B1"));
+    // Both chains simply forward onward.
+    for i in 1..=hops {
+        let g = format!("G{i}");
+        let g_next = if i == hops { "web1".to_string() } else { format!("G{}", i + 1) };
+        let p = topo.port_towards(&g, &g_next);
+        cfg(&mut exec, &g, 1, any, p);
+        let b = format!("B{i}");
+        let b_next = if i == hops { "web2".to_string() } else { format!("B{}", i + 1) };
+        let p = topo.port_towards(&b, &b_next);
+        cfg(&mut exec, &b, 1, any, p);
+    }
+    let dst = ip("10.0.0.80");
+    exec.log.insert(1_000, "S1", pkt_in(1, ip("4.3.2.1"), dst, 6, 512));
+    exec.log.insert(2_000, "S1", pkt_in(2, ip("4.3.3.1"), dst, 6, 512));
+    Scenario {
+        name: "butterfly",
+        description: "one faulty entry, increasingly long divergent paths",
+        good_event: QueryEvent::new(deliver_at("web1", 1, ip("4.3.2.1"), dst, 6, 512), u64::MAX),
+        bad_event: QueryEvent::new(deliver_at("web2", 2, ip("4.3.3.1"), dst, 6, 512), u64::MAX),
+        bad_exec: exec.clone(),
+        good_exec: exec,
+        expected_changes: 1,
+        expected_rounds: 1,
+    }
+}
+
+/// Runs the butterfly ablation for the given chain lengths.
+pub fn butterfly(hop_counts: &[usize]) -> Result<Vec<ButterflyRow>> {
+    let mut out = Vec::new();
+    for &hops in hop_counts {
+        let s = butterfly_scenario(hops);
+        let row = crate::table1::measure(&s)?;
+        out.push(ButterflyRow {
+            hops,
+            good: row.good,
+            bad: row.bad,
+            plain_diff: row.plain_diff,
+            diffprov: row.diffprov_total(),
+        });
+    }
+    Ok(out)
+}
+
+/// One row of the noise-insensitivity ablation.
+#[derive(Clone, Debug)]
+pub struct NoiseRow {
+    /// Configured entries in the campus network.
+    pub entries: usize,
+    /// Background packets streamed.
+    pub background: usize,
+    /// DiffProv's change-set size (must stay constant).
+    pub delta: usize,
+    /// Whether the misconfigured entry was named.
+    pub names_root_cause: bool,
+    /// Query turnaround.
+    pub elapsed: Duration,
+}
+
+/// Scales the campus network's tables and traffic; the diagnosis must not
+/// change.
+pub fn noise(scales: &[(usize, usize)]) -> Result<Vec<NoiseRow>> {
+    let mut out = Vec::new();
+    for &(bulk, background) in scales {
+        let campus = campus(&CampusConfig {
+            bulk_entries_per_router: bulk,
+            background_packets: background,
+            ..Default::default()
+        });
+        let t = Instant::now();
+        let report = campus.scenario.diagnose()?;
+        let elapsed = t.elapsed();
+        let names_root_cause = report.delta.iter().any(|c| {
+            c.before
+                .as_ref()
+                .map(|b| b.args.first() == Some(&dp_types::Value::Int(2)))
+                == Some(true)
+        });
+        out.push(NoiseRow {
+            entries: campus.entry_count,
+            background,
+            delta: report.delta.len(),
+            names_root_cause,
+            elapsed,
+        });
+    }
+    Ok(out)
+}
+
+/// One row of the checkpoint-interval ablation.
+#[derive(Clone, Debug)]
+pub struct CheckpointRow {
+    /// Checkpoint interval in base events (`None` = no checkpoints).
+    pub interval: Option<usize>,
+    /// Checkpoints stored.
+    pub checkpoints: usize,
+    /// Time to answer a query at the log horizon.
+    pub replay_time: Duration,
+}
+
+/// Sweeps the checkpoint interval on a packet-heavy execution.
+pub fn checkpoints(packets: usize, intervals: &[usize]) -> Result<Vec<CheckpointRow>> {
+    // Reuse the two-switch pipeline from the storage experiments.
+    let mut topo = Topology::new("ctl");
+    topo.switches(&["S1", "S2"]);
+    topo.link("S1", "S2");
+    let p_host = topo.host("S2", "sink");
+    let program = sdn_program("ctl")?;
+    let mut exec = Execution::new(Arc::clone(&program));
+    topo.emit(&mut exec.log, 10);
+    let ctl = NodeId::new("ctl");
+    let any = cidr("0.0.0.0/0");
+    exec.log.insert(
+        10,
+        ctl.clone(),
+        cfg_entry(1, "S1", 1, any, any, topo.port_towards("S1", "S2")),
+    );
+    exec.log
+        .insert(10, ctl, cfg_entry(2, "S2", 1, any, any, p_host));
+    let trace = dp_sdn::generate(&dp_sdn::TraceConfig {
+        packets,
+        ..Default::default()
+    });
+    let mut t = 100u64;
+    for p in trace.packets {
+        exec.log.insert(t, "S1", p);
+        t += 1;
+    }
+    let horizon = exec.log.horizon();
+
+    let mut out = Vec::new();
+    let t0 = Instant::now();
+    exec.replay()?;
+    out.push(CheckpointRow {
+        interval: None,
+        checkpoints: 0,
+        replay_time: t0.elapsed(),
+    });
+    for &iv in intervals {
+        let store = exec.build_checkpoints(iv)?;
+        let t0 = Instant::now();
+        exec.replay_from_checkpoint(&store, horizon)?;
+        out.push(CheckpointRow {
+            interval: Some(iv),
+            checkpoints: store.len(),
+            replay_time: t0.elapsed(),
+        });
+    }
+    Ok(out)
+}

@@ -1,0 +1,73 @@
+//! Section 6.7: diagnostics in a complex network with realistic policies,
+//! multiple concurrent faults, and heavy background traffic.
+
+use std::time::{Duration, Instant};
+
+use dp_provenance::plain_tree_diff;
+use dp_sdn::{campus, CampusConfig};
+use dp_types::Result;
+
+/// Results of the campus-network experiment.
+#[derive(Clone, Debug)]
+pub struct ComplexResult {
+    /// Configured forwarding/ACL entries in the network.
+    pub entries: usize,
+    /// Extra injected faults (on-path + off-path noise).
+    pub extra_faults: usize,
+    /// Background packets streamed.
+    pub background_packets: usize,
+    /// Good-tree vertex count (paper: 75).
+    pub good_tree: usize,
+    /// Bad-tree vertex count (paper: 67).
+    pub bad_tree: usize,
+    /// Plain-diff vertex count (paper: 108).
+    pub plain_diff: usize,
+    /// DiffProv's change-set size.
+    pub delta: usize,
+    /// Whether the misconfigured drop entry (rule id 2 on oz4) was named.
+    pub names_root_cause: bool,
+    /// Whether the alignment verified.
+    pub verified: bool,
+    /// Query turnaround.
+    pub elapsed: Duration,
+}
+
+/// Runs the experiment at the given noise scale.
+pub fn complex(cfg: &CampusConfig) -> Result<ComplexResult> {
+    let campus = campus(cfg);
+    let s = &campus.scenario;
+    let t = Instant::now();
+    let report = s.diagnose()?;
+    let elapsed = t.elapsed();
+    if let Some(f) = &report.failure {
+        return Err(dp_types::Error::Engine(format!("campus diagnosis failed: {f}")));
+    }
+    // Baseline tree sizes and the strawman diff.
+    let rg = s.good_exec.replay()?;
+    let good_tree = rg
+        .query_at(&s.good_event.tref, s.good_event.at)
+        .ok_or_else(|| dp_types::Error::Engine("good event missing".into()))?;
+    let rb = s.bad_exec.replay()?;
+    let bad_tree = rb
+        .query_at(&s.bad_event.tref, s.bad_event.at)
+        .ok_or_else(|| dp_types::Error::Engine("bad event missing".into()))?;
+    let diff = plain_tree_diff(&good_tree, &bad_tree);
+    let names_root_cause = report.delta.iter().any(|c| {
+        c.before
+            .as_ref()
+            .map(|b| b.args.first() == Some(&dp_types::Value::Int(2)))
+            == Some(true)
+    });
+    Ok(ComplexResult {
+        entries: campus.entry_count,
+        extra_faults: cfg.faults_on_path + cfg.faults_off_path,
+        background_packets: cfg.background_packets,
+        good_tree: good_tree.len(),
+        bad_tree: bad_tree.len(),
+        plain_diff: diff.len(),
+        delta: report.delta.len(),
+        names_root_cause,
+        verified: report.verified,
+        elapsed,
+    })
+}

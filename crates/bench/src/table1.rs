@@ -1,0 +1,121 @@
+//! Table 1: vertexes returned by five diagnostic techniques across the
+//! eight scenarios.
+//!
+//! | row             | meaning                                        |
+//! |-----------------|------------------------------------------------|
+//! | good example    | vertexes of the reference provenance tree (Y!) |
+//! | bad example     | vertexes of the faulty tree (Y!)               |
+//! | plain tree diff | multiset symmetric difference of the two       |
+//! | DiffProv        | tuples in `Δ_{B→G}` (per round for SDN4)       |
+
+use std::fmt;
+
+use diffprov_core::Scenario;
+use dp_provenance::plain_tree_diff;
+use dp_types::Result;
+
+/// One column of Table 1.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Scenario name.
+    pub query: String,
+    /// Good-tree vertex count.
+    pub good: usize,
+    /// Bad-tree vertex count.
+    pub bad: usize,
+    /// Plain-diff vertex count.
+    pub plain_diff: usize,
+    /// DiffProv changes per round.
+    pub diffprov_per_round: Vec<usize>,
+    /// Whether the alignment verified.
+    pub verified: bool,
+}
+
+impl Table1Row {
+    /// Total DiffProv answer size.
+    pub fn diffprov_total(&self) -> usize {
+        self.diffprov_per_round.iter().sum()
+    }
+}
+
+/// Runs one scenario and measures all five techniques.
+pub fn measure(scenario: &Scenario) -> Result<Table1Row> {
+    // The two Y! baselines: full provenance queries on each tree.
+    let rg = scenario.good_exec.replay()?;
+    let good_tree = rg
+        .query_at(&scenario.good_event.tref, scenario.good_event.at)
+        .ok_or_else(|| dp_types::Error::Engine(format!("{}: good event missing", scenario.name)))?;
+    let rb = scenario.bad_exec.replay()?;
+    let bad_tree = rb
+        .query_at(&scenario.bad_event.tref, scenario.bad_event.at)
+        .ok_or_else(|| dp_types::Error::Engine(format!("{}: bad event missing", scenario.name)))?;
+    // The strawman of Section 2.5.
+    let diff = plain_tree_diff(&good_tree, &bad_tree);
+    // DiffProv.
+    let report = scenario.diagnose()?;
+    if let Some(f) = &report.failure {
+        return Err(dp_types::Error::Engine(format!(
+            "{}: DiffProv failed: {f}",
+            scenario.name
+        )));
+    }
+    Ok(Table1Row {
+        query: scenario.name.to_string(),
+        good: good_tree.len(),
+        bad: bad_tree.len(),
+        plain_diff: diff.len(),
+        diffprov_per_round: report.rounds.iter().map(|r| r.changes.len()).collect(),
+        verified: report.verified,
+    })
+}
+
+/// Runs all eight scenarios of Table 1.
+pub fn table1() -> Result<Vec<Table1Row>> {
+    let mut rows = Vec::new();
+    for s in dp_sdn::all_sdn_scenarios() {
+        rows.push(measure(&s)?);
+    }
+    for s in dp_mapreduce::all_mr_scenarios() {
+        rows.push(measure(&s)?);
+    }
+    Ok(rows)
+}
+
+/// Renders rows in the paper's layout.
+pub struct Table1Display<'a>(pub &'a [Table1Row]);
+
+impl fmt::Display for Table1Display<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<22}", "Query")?;
+        for r in self.0 {
+            write!(f, "{:>9}", r.query)?;
+        }
+        writeln!(f)?;
+        write!(f, "{:<22}", "Good example (T_G)")?;
+        for r in self.0 {
+            write!(f, "{:>9}", r.good)?;
+        }
+        writeln!(f)?;
+        write!(f, "{:<22}", "Bad example (T_B)")?;
+        for r in self.0 {
+            write!(f, "{:>9}", r.bad)?;
+        }
+        writeln!(f)?;
+        write!(f, "{:<22}", "Plain tree diff")?;
+        for r in self.0 {
+            write!(f, "{:>9}", r.plain_diff)?;
+        }
+        writeln!(f)?;
+        write!(f, "{:<22}", "DiffProv")?;
+        for r in self.0 {
+            let s = r
+                .diffprov_per_round
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join("/");
+            write!(f, "{:>9}", s)?;
+        }
+        writeln!(f)
+    }
+}

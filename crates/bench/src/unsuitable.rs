@@ -1,0 +1,256 @@
+//! Section 6.3: how DiffProv handles unsuitable reference events.
+//!
+//! The paper issues ten queries with randomly picked (bad) references in
+//! the SDN1 and MR1-D scenarios: every one fails, three because the seeds
+//! had different types and seven because aligning would require changing
+//! immutable tuples — and in each case the error output tells the operator
+//! what was wrong with the chosen reference.
+
+use diffprov_core::{DiffProv, Failure, QueryEvent};
+use dp_mapreduce::{build_job, generate as gen_corpus, reducer_of, CorpusConfig, JobConfig};
+use dp_sdn::{deliver_at, pkt_in, sdn1};
+use dp_types::prefix::{cidr, ip};
+use dp_types::{tuple, Result, TupleRef};
+
+/// The observed failure category of one unsuitable-reference query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Category {
+    /// Seeds of different types: the trees are not comparable.
+    SeedTypeMismatch,
+    /// Alignment would require changing an immutable tuple.
+    ImmutableChange,
+    /// Some other reported failure.
+    Other(String),
+    /// The query succeeded (degenerate references align trivially).
+    Succeeded,
+}
+
+/// The result of one unsuitable-reference query.
+#[derive(Clone, Debug)]
+pub struct UnsuitableResult {
+    /// Which scenario and reference was used.
+    pub label: String,
+    /// The failure category DiffProv reported.
+    pub category: Category,
+    /// The human-readable diagnostic.
+    pub diagnostic: String,
+}
+
+fn classify(report: &diffprov_core::Report) -> (Category, String) {
+    match &report.failure {
+        None => (Category::Succeeded, "aligned (empty change set)".to_string()),
+        Some(f @ Failure::SeedTypeMismatch { .. }) => (Category::SeedTypeMismatch, f.to_string()),
+        Some(f @ Failure::ImmutableChange { .. }) => (Category::ImmutableChange, f.to_string()),
+        Some(f) => (Category::Other(f.to_string()), f.to_string()),
+    }
+}
+
+/// Runs the unsuitable-reference queries for SDN1.
+///
+/// Unsuitable references tried: configuration tuples (flow entries, link
+/// wiring, controller state) whose seeds are not packets, a correct
+/// delivery whose packet entered at a *different* ingress switch, and the
+/// degenerate self-reference.
+pub fn sdn1_unsuitable() -> Result<Vec<UnsuitableResult>> {
+    let mut s = sdn1();
+    // Add a packet with a trusted source entering at a different ingress
+    // (S5): it is delivered correctly to web1 via S6, but is a useless
+    // reference for a packet that entered at S1.
+    let dst = ip("10.0.0.80");
+    let other_src = ip("4.3.2.7");
+    // S5 carries no entries in the base scenario; give it a route to S6
+    // (port 2) so the alternate-ingress packet reaches web1.
+    s.good_exec.log.insert(
+        10,
+        "ctl",
+        dp_sdn::cfg_entry(550, "S5", 1, cidr("0.0.0.0/0"), cidr("0.0.0.0/0"), 2),
+    );
+    s.good_exec
+        .log
+        .insert(900, "S5", pkt_in(50, other_src, dst, 6, 512));
+    s.bad_exec = s.good_exec.clone();
+
+    let mut out = Vec::new();
+    let dp = DiffProv::default();
+    let bad = &s.bad_event;
+
+    // References 1-3: configuration/infrastructure tuples whose seeds are
+    // not packets (seed-type mismatch).
+    let cfg_refs = vec![
+        (
+            "flow entry as reference",
+            // R1 as installed on S2 (port 3 leads to S6).
+            QueryEvent::new(
+                TupleRef::new(
+                    "S2",
+                    tuple!("flowEntry", 1, 10, cidr("4.3.2.0/24"), cidr("0.0.0.0/0"), 3),
+                ),
+                u64::MAX,
+            ),
+        ),
+        (
+            "link tuple as reference",
+            QueryEvent::new(TupleRef::new("S1", tuple!("link", 1, "S2")), u64::MAX),
+        ),
+        (
+            "controller state as reference",
+            QueryEvent::new(TupleRef::new("ctl", tuple!("switchUp", "S2")), u64::MAX),
+        ),
+    ];
+    for (label, good_ev) in cfg_refs {
+        let report = dp.diagnose(&s.good_exec, &good_ev, &s.bad_exec, bad)?;
+        let (category, diagnostic) = classify(&report);
+        out.push(UnsuitableResult {
+            label: format!("SDN1: {label}"),
+            category,
+            diagnostic,
+        });
+    }
+
+    // Reference 4: a correct delivery whose packet entered at a different
+    // ingress switch — aligning would require moving the (immutable) bad
+    // packet's entry point.
+    let good_ev = QueryEvent::new(deliver_at("web1", 50, other_src, dst, 6, 512), u64::MAX);
+    let report = dp.diagnose(&s.good_exec, &good_ev, &s.bad_exec, bad)?;
+    let (category, diagnostic) = classify(&report);
+    out.push(UnsuitableResult {
+        label: "SDN1: reference packet entered at a different ingress".to_string(),
+        category,
+        diagnostic,
+    });
+
+    // Reference 5: the bad event as its own reference. The trees align
+    // trivially with an empty change set — DiffProv telling the operator
+    // the reference exhibits the same behaviour, not the correct one.
+    let report = dp.diagnose(&s.good_exec, bad, &s.bad_exec, bad)?;
+    let (category, diagnostic) = classify(&report);
+    out.push(UnsuitableResult {
+        label: "SDN1: bad event used as its own reference".to_string(),
+        category,
+        diagnostic,
+    });
+    Ok(out)
+}
+
+/// Runs the unsuitable-reference queries for MR1-D.
+pub fn mr1d_unsuitable() -> Result<Vec<UnsuitableResult>> {
+    let corpus_cfg = CorpusConfig {
+        files: 2,
+        lines_per_file: 16,
+        words_per_line: 5,
+        vocabulary: 24,
+        ..Default::default()
+    };
+    let files = gen_corpus(&corpus_cfg);
+    let good_cfg = JobConfig {
+        reducers: 4,
+        ..Default::default()
+    };
+    let bad_cfg = JobConfig {
+        reducers: 5,
+        ..Default::default()
+    };
+    let bad_exec = build_job(&bad_cfg, &files);
+    let good_exec = build_job(&good_cfg, &files);
+    // A job over a *different* corpus (immutable inputs differ).
+    let other_files = gen_corpus(&CorpusConfig {
+        seed: 99,
+        ..corpus_cfg
+    });
+    let other_exec = build_job(&good_cfg, &other_files);
+
+    // The bad event: a word count on the wrong reducer.
+    let word = "w000";
+    let count = dp_mapreduce::expected_counts(&files, false)[word];
+    let bad_ev = QueryEvent::new(
+        TupleRef::new(
+            format!("r{}", reducer_of(word, 5)).as_str(),
+            tuple!("wordCount", word, count),
+        ),
+        u64::MAX,
+    );
+
+    let dp = DiffProv::default();
+    let mut out = Vec::new();
+
+    // References 1-3: job-state tuples (seed-type mismatch).
+    let cfg_refs = vec![
+        (
+            "configuration entry as reference",
+            QueryEvent::new(
+                TupleRef::new("drv", tuple!("mrConfig", "mapreduce.job.reduces", 4)),
+                u64::MAX,
+            ),
+        ),
+        (
+            "input-file record as reference",
+            QueryEvent::new(
+                TupleRef::new(
+                    "drv",
+                    dp_types::Tuple::new(
+                        "inputFile",
+                        vec![
+                            dp_types::Value::str(&files[0].name),
+                            dp_types::Value::Sum(files[0].checksum),
+                            dp_types::Value::Int(files[0].bytes as i64),
+                        ],
+                    ),
+                ),
+                u64::MAX,
+            ),
+        ),
+        (
+            "worker registration as reference",
+            QueryEvent::new(TupleRef::new("drv", tuple!("worker", "m0")), u64::MAX),
+        ),
+    ];
+    for (label, good_ev) in cfg_refs {
+        let report = dp.diagnose(&good_exec, &good_ev, &bad_exec, &bad_ev)?;
+        let (category, diagnostic) = classify(&report);
+        out.push(UnsuitableResult {
+            label: format!("MR1-D: {label}"),
+            category,
+            diagnostic,
+        });
+    }
+
+    // References 4-5: word counts from the job over a *different* corpus —
+    // aligning would require changing the immutable input records. Words
+    // whose counts coincide across the corpora would align trivially, so
+    // pick words where the counts differ.
+    let bad_counts = dp_mapreduce::expected_counts(&files, false);
+    let other_counts = dp_mapreduce::expected_counts(&other_files, false);
+    let differing: Vec<&String> = other_counts
+        .iter()
+        .filter(|(w, c)| bad_counts.get(*w) != Some(*c))
+        .map(|(w, _)| w)
+        .take(2)
+        .collect();
+    let mut added = 0;
+    for w in differing {
+        let Some(&c) = other_counts.get(w) else { continue };
+        let good_ev = QueryEvent::new(
+            TupleRef::new(
+                format!("r{}", reducer_of(w, 4)).as_str(),
+                tuple!("wordCount", w.as_str(), c),
+            ),
+            u64::MAX,
+        );
+        let report = dp.diagnose(&other_exec, &good_ev, &bad_exec, &bad_ev)?;
+        let (category, diagnostic) = classify(&report);
+        added += 1;
+        out.push(UnsuitableResult {
+            label: format!("MR1-D: reference #{added} from a job over different input"),
+            category,
+            diagnostic,
+        });
+    }
+    Ok(out)
+}
+
+/// All unsuitable-reference queries, SDN1 + MR1-D.
+pub fn all_unsuitable() -> Result<Vec<UnsuitableResult>> {
+    let mut out = sdn1_unsuitable()?;
+    out.extend(mr1d_unsuitable()?);
+    Ok(out)
+}

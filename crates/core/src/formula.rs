@@ -1,0 +1,183 @@
+//! Taint formulae: symbolic expressions over the seed's fields.
+//!
+//! Section 4.3 of the paper: "DiffProv taints all the fields of tuples in
+//! `T_G` that have been computed from fields of `s_G` in some way, and
+//! maintains, for each tainted field, a *formula* that expresses the
+//! field's value as a function of fields in `s_G`." Evaluating the formula
+//! with the values of `s_B` (APPLYTAINT) yields the tuple that *should*
+//! exist in the bad execution.
+//!
+//! A formula is an [`Expr`] whose variables are the reserved names
+//! `$0, $1, ...` referring to seed fields; everything else has been
+//! substituted away.
+
+use dp_ndlog::{Env, Expr};
+use dp_types::{Error, Result, Sym, Tuple, Value};
+
+/// The reserved variable name for seed field `i`.
+pub fn seed_var(i: usize) -> Sym {
+    Sym::new(format!("${i}"))
+}
+
+/// Parses a seed-variable name back to a field index.
+pub fn seed_var_index(name: &Sym) -> Option<usize> {
+    name.as_str().strip_prefix('$')?.parse().ok()
+}
+
+/// A taint formula: an expression over seed fields only.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Formula(pub Expr);
+
+impl Formula {
+    /// The identity formula on seed field `i` — the initial taint of the
+    /// seed's own fields.
+    pub fn seed_field(i: usize) -> Formula {
+        Formula(Expr::Var(seed_var(i)))
+    }
+
+    /// A constant formula (an untainted value, represented uniformly).
+    pub fn constant(v: Value) -> Formula {
+        Formula(Expr::Const(v))
+    }
+
+    /// True if the formula actually depends on the seed.
+    pub fn is_tainted(&self) -> bool {
+        self.0.free_vars().iter().any(|v| seed_var_index(v).is_some())
+    }
+
+    /// APPLYTAINT: evaluates the formula with the bad seed's field values.
+    pub fn apply(&self, bad_seed: &Tuple) -> Result<Value> {
+        let mut env = Env::new();
+        for (i, v) in bad_seed.args.iter().enumerate() {
+            env.insert(seed_var(i), v.clone());
+        }
+        self.0.eval(&env)
+    }
+}
+
+impl std::fmt::Display for Formula {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Substitutes rule variables in `expr` by their formulae (for tainted
+/// variables) or their concrete good-run values (for untainted ones),
+/// producing a formula for the expression's value.
+///
+/// This is PROPTAINT's upward step (Section 4.4): "if `f` was the formula
+/// used to compute the 3 in the good tree ... DiffProv would attach
+/// `g := 2*f + 1` to the 7, to reflect that it was computed using
+/// `d = 2*c + 1`."
+pub fn substitute(
+    expr: &Expr,
+    var_formulas: &std::collections::BTreeMap<Sym, Formula>,
+    good_env: &Env,
+) -> Result<Formula> {
+    let e = subst_inner(expr, var_formulas, good_env)?;
+    // Constant-fold untainted results so equivalence checks see plain
+    // values.
+    let formula = Formula(e);
+    if !formula.is_tainted() {
+        let v = formula.0.eval(&Env::new())?;
+        return Ok(Formula::constant(v));
+    }
+    Ok(formula)
+}
+
+fn subst_inner(
+    expr: &Expr,
+    var_formulas: &std::collections::BTreeMap<Sym, Formula>,
+    good_env: &Env,
+) -> Result<Expr> {
+    Ok(match expr {
+        Expr::Var(v) => {
+            if let Some(f) = var_formulas.get(v) {
+                f.0.clone()
+            } else if let Some(val) = good_env.get(v) {
+                Expr::Const(val.clone())
+            } else {
+                return Err(Error::Engine(format!(
+                    "taint substitution: variable {v} unbound in the good derivation"
+                )));
+            }
+        }
+        Expr::Const(c) => Expr::Const(c.clone()),
+        Expr::Bin(op, l, r) => Expr::Bin(
+            *op,
+            Box::new(subst_inner(l, var_formulas, good_env)?),
+            Box::new(subst_inner(r, var_formulas, good_env)?),
+        ),
+        Expr::Call(f, args) => {
+            let mut out = Vec::with_capacity(args.len());
+            for a in args {
+                out.push(subst_inner(a, var_formulas, good_env)?);
+            }
+            Expr::Call(*f, out)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_ndlog::BinOp;
+    use dp_types::tuple;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn seed_vars_roundtrip() {
+        assert_eq!(seed_var_index(&seed_var(3)), Some(3));
+        assert_eq!(seed_var_index(&Sym::new("x")), None);
+        assert_eq!(seed_var_index(&Sym::new("$x")), None);
+    }
+
+    #[test]
+    fn apply_evaluates_against_bad_seed() {
+        // Formula: $1 + 1 (one more than the seed's second field).
+        let f = Formula(Expr::bin(
+            BinOp::Add,
+            Expr::Var(seed_var(1)),
+            Expr::val(1),
+        ));
+        assert!(f.is_tainted());
+        let bad = tuple!("pkt", 9, 41);
+        assert_eq!(f.apply(&bad).unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn substitute_composes_paper_example() {
+        // Good derivation used d = 2*c + 1 where c was tainted with
+        // formula $0; the head field's formula becomes 2*$0 + 1.
+        let mut vf = BTreeMap::new();
+        vf.insert(Sym::new("c"), Formula::seed_field(0));
+        let good_env = Env::new();
+        let expr = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, Expr::val(2), Expr::var("c")),
+            Expr::val(1),
+        );
+        let f = substitute(&expr, &vf, &good_env).unwrap();
+        assert!(f.is_tainted());
+        assert_eq!(f.apply(&tuple!("s", 10)).unwrap(), Value::Int(21));
+    }
+
+    #[test]
+    fn substitute_constant_folds_untainted() {
+        let vf = BTreeMap::new();
+        let mut good_env = Env::new();
+        good_env.insert(Sym::new("k"), Value::Int(5));
+        let expr = Expr::bin(BinOp::Mul, Expr::var("k"), Expr::val(3));
+        let f = substitute(&expr, &vf, &good_env).unwrap();
+        assert!(!f.is_tainted());
+        assert_eq!(f.0, Expr::Const(Value::Int(15)));
+    }
+
+    #[test]
+    fn substitute_reports_unbound_vars() {
+        let vf = BTreeMap::new();
+        let good_env = Env::new();
+        let err = substitute(&Expr::var("zzz"), &vf, &good_env).unwrap_err();
+        assert!(err.to_string().contains("zzz"), "{err}");
+    }
+}

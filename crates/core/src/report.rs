@@ -1,0 +1,175 @@
+//! DiffProv results: the change set, diagnostics, and timing breakdown.
+
+use std::fmt;
+use std::time::Duration;
+
+use dp_ndlog::TupleChange;
+use dp_types::{Tuple, TupleRef};
+
+/// Why DiffProv failed to align the trees (Section 4.7, "false
+/// negatives"). Every failure carries the diagnostic clue the paper says
+/// should be surfaced to help the operator pick a better reference.
+#[derive(Clone, Debug)]
+pub enum Failure {
+    /// The seeds of `T_G` and `T_B` are of different types; the trees are
+    /// not comparable.
+    SeedTypeMismatch {
+        /// The good tree's seed.
+        good: Tuple,
+        /// The bad tree's seed.
+        bad: Tuple,
+    },
+    /// Alignment would require changing an immutable tuple (e.g. the point
+    /// at which a packet entered the network).
+    ImmutableChange {
+        /// The tuple that would have to appear/change.
+        needed: TupleRef,
+        /// Human-readable context (which derivation required it).
+        context: String,
+    },
+    /// A rule computation could not be inverted (e.g. a hash). The
+    /// "attempted change" description is still a useful clue.
+    NonInvertible {
+        /// What DiffProv was trying to do when it gave up.
+        attempted: String,
+    },
+    /// The round limit was reached without aligning (defensive bound; the
+    /// paper's scenarios converge in one or two rounds).
+    RoundLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A round produced no new changes yet the trees remained unaligned —
+    /// the substrate behaved non-deterministically, or the divergence is
+    /// outside the modeled rules. The paper's race-condition abort
+    /// (Section 4.9) surfaces here.
+    NoProgress {
+        /// The expected tuple that kept failing to appear.
+        stuck_on: TupleRef,
+    },
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Failure::SeedTypeMismatch { good, bad } => write!(
+                f,
+                "seeds have different types: good seed {good}, bad seed {bad}; \
+                 pick a reference event of the same kind"
+            ),
+            Failure::ImmutableChange { needed, context } => write!(
+                f,
+                "alignment requires changing immutable tuple {needed} ({context}); \
+                 no valid solution exists — pick a reference with matching immutable context"
+            ),
+            Failure::NonInvertible { attempted } => {
+                write!(f, "could not invert a computation: {attempted}")
+            }
+            Failure::RoundLimit { limit } => {
+                write!(f, "gave up after {limit} rounds without aligning the trees")
+            }
+            Failure::NoProgress { stuck_on } => write!(
+                f,
+                "no progress: expected tuple {stuck_on} still missing after applying \
+                 all derivable changes (possible race condition or unmodeled behaviour)"
+            ),
+        }
+    }
+}
+
+/// Timing breakdown of one DiffProv query — the decomposition reported in
+/// Figure 8 (reasoning) and Figure 7 (replay vs. reasoning).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Metrics {
+    /// Replaying executions to (re)construct provenance.
+    pub replay: Duration,
+    /// Locating the seeds of both trees (FINDSEED).
+    pub find_seeds: Duration,
+    /// Walking the trigger chain to the first divergence (FIRSTDIV),
+    /// including taint propagation and formula evaluation.
+    pub detect_divergence: Duration,
+    /// Making missing tuples appear (MAKEAPPEAR), including constraint
+    /// repair and inversion.
+    pub make_appear: Duration,
+    /// Updating the bad tree after changes (UPDATETREE) — dominated by the
+    /// cloned replay, which is also accumulated into `replay`.
+    pub update_tree: Duration,
+}
+
+impl Metrics {
+    /// Pure reasoning time (everything except replay).
+    pub fn reasoning(&self) -> Duration {
+        self.find_seeds + self.detect_divergence + self.make_appear
+    }
+
+    /// Total query turnaround.
+    pub fn total(&self) -> Duration {
+        self.replay + self.reasoning()
+    }
+}
+
+/// What happened in one alignment round.
+#[derive(Clone, Debug)]
+pub struct Round {
+    /// The good-tree tuple at which the first divergence was found.
+    pub divergence: TupleRef,
+    /// Changes added to `Δ_{B→G}` this round.
+    pub changes: Vec<TupleChange>,
+}
+
+/// The result of a DiffProv query.
+#[derive(Debug)]
+pub struct Report {
+    /// The accumulated change set `Δ_{B→G}` — the estimated root cause.
+    /// Empty with `failure == None` means the trees were already
+    /// equivalent.
+    pub delta: Vec<TupleChange>,
+    /// Per-round details (SDN4 needs two rounds; most scenarios one).
+    pub rounds: Vec<Round>,
+    /// `None` on success; the diagnostic otherwise.
+    pub failure: Option<Failure>,
+    /// Whether the final verification pass found the updated bad tree
+    /// equivalent to the good tree.
+    pub verified: bool,
+    /// The seed tuples as located by FINDSEED.
+    pub good_seed: Option<TupleRef>,
+    /// The bad seed.
+    pub bad_seed: Option<TupleRef>,
+    /// Vertex count of the good provenance tree (Table 1, row 1).
+    pub good_tree_size: usize,
+    /// Vertex count of the bad provenance tree (Table 1, row 2).
+    pub bad_tree_size: usize,
+    /// Timing breakdown.
+    pub metrics: Metrics,
+}
+
+impl Report {
+    /// Number of changes — the "DiffProv" row of Table 1.
+    pub fn answer_size(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// True when alignment succeeded.
+    pub fn succeeded(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.failure {
+            Some(fail) => writeln!(f, "DiffProv FAILED: {fail}")?,
+            None => writeln!(
+                f,
+                "DiffProv found {} change(s) in {} round(s){}:",
+                self.delta.len(),
+                self.rounds.len(),
+                if self.verified { " (verified)" } else { "" }
+            )?,
+        }
+        for (i, c) in self.delta.iter().enumerate() {
+            writeln!(f, "  {}. {c}", i + 1)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,44 @@
+//! A packaged diagnostic scenario: executions, events, and expectations.
+//!
+//! The evaluation crates (SDN, MapReduce) construct values of this type;
+//! the benchmark harness consumes them uniformly to regenerate the paper's
+//! tables and figures.
+
+use dp_replay::Execution;
+use dp_types::Result;
+
+use crate::align::{DiffProv, QueryEvent};
+use crate::report::Report;
+
+/// A fully constructed diagnostic scenario.
+pub struct Scenario {
+    /// Short identifier (e.g. "SDN1", "MR1-D").
+    pub name: &'static str,
+    /// What is wrong, in words.
+    pub description: &'static str,
+    /// The execution containing the good event.
+    pub good_exec: Execution,
+    /// The execution containing the bad event (the same log for the SDN
+    /// scenarios; a separate job run for MapReduce).
+    pub bad_exec: Execution,
+    /// The reference event.
+    pub good_event: QueryEvent,
+    /// The event under diagnosis.
+    pub bad_event: QueryEvent,
+    /// How many changes DiffProv is expected to output.
+    pub expected_changes: usize,
+    /// How many rounds DiffProv is expected to need.
+    pub expected_rounds: usize,
+}
+
+impl Scenario {
+    /// Runs DiffProv on this scenario.
+    pub fn diagnose(&self) -> Result<Report> {
+        DiffProv::default().diagnose(
+            &self.good_exec,
+            &self.good_event,
+            &self.bad_exec,
+            &self.bad_event,
+        )
+    }
+}

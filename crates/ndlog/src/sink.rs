@@ -1,0 +1,136 @@
+//! The provenance event stream emitted by the engine.
+//!
+//! The engine reports everything a temporal provenance graph needs through
+//! the [`ProvenanceSink`] trait. This corresponds to the paper's three
+//! capture modes (Section 5): for declarative programs the events are
+//! *inferred* from rule firings; native rules *report* their dependencies
+//! explicitly (the instrumentation-hooks mode); and the external-
+//! specification mode replays observations through a specification program,
+//! producing the same event stream.
+
+use dp_types::{LogicalTime, NodeId, Sym, Tuple, TupleRef};
+
+/// One provenance-relevant occurrence inside the engine.
+///
+/// The event kinds map one-to-one onto the vertex types of the temporal
+/// provenance graph (Section 3.2 of the paper): INSERT/DELETE for base
+/// tuples, DERIVE/UNDERIVE for rule firings and their invalidation, and
+/// APPEAR/DISAPPEAR for support transitions (EXIST intervals are derived
+/// from APPEAR/DISAPPEAR pairs by the graph builder).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProvEvent {
+    /// A base tuple was inserted.
+    InsertBase {
+        /// Logical time of the insertion.
+        time: LogicalTime,
+        /// Node where the tuple lives.
+        node: NodeId,
+        /// The tuple.
+        tuple: Tuple,
+    },
+    /// A base tuple was deleted.
+    DeleteBase {
+        /// Logical time of the deletion.
+        time: LogicalTime,
+        /// Node where the tuple lived.
+        node: NodeId,
+        /// The tuple.
+        tuple: Tuple,
+    },
+    /// A rule derived a tuple.
+    Derive {
+        /// Logical time of the derivation.
+        time: LogicalTime,
+        /// Node where the derived tuple lives.
+        node: NodeId,
+        /// The derived tuple.
+        tuple: Tuple,
+        /// The rule that fired.
+        rule: Sym,
+        /// The body tuples used, in rule-body order.
+        body: Vec<TupleRef>,
+        /// Index into `body` of the tuple whose appearance triggered the
+        /// derivation (the paper's "last precondition", Section 4.2).
+        trigger: usize,
+        /// True when the tuple already existed (extra support only).
+        redundant: bool,
+    },
+    /// A derivation became invalid because a body tuple disappeared.
+    Underive {
+        /// Logical time of the invalidation.
+        time: LogicalTime,
+        /// Node of the (formerly) derived tuple.
+        node: NodeId,
+        /// The tuple losing support.
+        tuple: Tuple,
+        /// The rule whose derivation was invalidated.
+        rule: Sym,
+    },
+    /// A tuple's support went from zero to positive.
+    Appear {
+        /// Logical time.
+        time: LogicalTime,
+        /// Node.
+        node: NodeId,
+        /// The tuple.
+        tuple: Tuple,
+    },
+    /// A tuple's support returned to zero.
+    Disappear {
+        /// Logical time.
+        time: LogicalTime,
+        /// Node.
+        node: NodeId,
+        /// The tuple.
+        tuple: Tuple,
+    },
+}
+
+impl ProvEvent {
+    /// The logical time of the event.
+    pub fn time(&self) -> LogicalTime {
+        match self {
+            ProvEvent::InsertBase { time, .. }
+            | ProvEvent::DeleteBase { time, .. }
+            | ProvEvent::Derive { time, .. }
+            | ProvEvent::Underive { time, .. }
+            | ProvEvent::Appear { time, .. }
+            | ProvEvent::Disappear { time, .. } => *time,
+        }
+    }
+}
+
+/// A consumer of the engine's provenance event stream.
+pub trait ProvenanceSink {
+    /// Records one event. Events arrive in non-decreasing time order.
+    fn record(&mut self, event: ProvEvent);
+}
+
+/// A sink that discards everything (logging disabled; used to measure the
+/// overhead of provenance capture, Section 6.4).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl ProvenanceSink for NullSink {
+    fn record(&mut self, _event: ProvEvent) {}
+}
+
+/// A sink that buffers events in memory, for tests and for feeding a graph
+/// builder after the fact.
+#[derive(Clone, Debug, Default)]
+pub struct VecSink {
+    /// The recorded events, in arrival order.
+    pub events: Vec<ProvEvent>,
+}
+
+impl ProvenanceSink for VecSink {
+    fn record(&mut self, event: ProvEvent) {
+        self.events.push(event);
+    }
+}
+
+impl<S: ProvenanceSink + ?Sized> ProvenanceSink for &mut S {
+    fn record(&mut self, event: ProvEvent) {
+        (**self).record(event);
+    }
+}

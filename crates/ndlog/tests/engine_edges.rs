@@ -1,0 +1,336 @@
+//! Engine and program-builder edge cases beyond the unit suites.
+
+use std::sync::Arc;
+
+use dp_ndlog::{
+    Emitter, Engine, NativeRule, NodeView, NullSink, Program, StatefulBuiltin, VecSink,
+};
+use dp_types::{tuple, FieldType, NodeId, Result, Schema, SchemaRegistry, Sym, TableKind, Tuple,
+    TupleRef, Value};
+
+fn base_reg() -> SchemaRegistry {
+    let mut reg = SchemaRegistry::new();
+    reg.declare(Schema::new("e", TableKind::ImmutableBase, [("x", FieldType::Int)]));
+    reg.declare(Schema::new("k", TableKind::MutableBase, [("v", FieldType::Int)]));
+    reg.declare(Schema::new("d", TableKind::Derived, [("y", FieldType::Int)]));
+    reg
+}
+
+#[test]
+fn builder_rejects_rule_into_base_table() {
+    let err = Program::builder(base_reg())
+        .rules_text("r k(@N, X) :- e(@N, X).")
+        .unwrap()
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("non-derived"), "{err}");
+}
+
+#[test]
+fn builder_rejects_arity_mismatches() {
+    let err = Program::builder(base_reg())
+        .rules_text("r d(@N, X, X) :- e(@N, X).")
+        .unwrap()
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("arity"), "{err}");
+    let err = Program::builder(base_reg())
+        .rules_text("r d(@N, X) :- e(@N, X, X).")
+        .unwrap()
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("arity"), "{err}");
+}
+
+#[test]
+fn builder_rejects_undeclared_tables_and_builtins() {
+    let err = Program::builder(base_reg())
+        .rules_text("r d(@N, X) :- nosuch(@N, X).")
+        .unwrap()
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("nosuch"), "{err}");
+    let err = Program::builder(base_reg())
+        .rules_text("r d(@N, X) :- e(@N, X), mystery!(X).")
+        .unwrap()
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("mystery"), "{err}");
+}
+
+#[test]
+fn stateful_builtin_gates_derivations() {
+    // A threshold predicate: derive only while fewer than 2 d-tuples exist.
+    struct AtMost(usize);
+    impl StatefulBuiltin for AtMost {
+        fn name(&self) -> Sym {
+            Sym::new("at_most")
+        }
+        fn eval(&self, view: &NodeView<'_>, _args: &[Value]) -> Result<bool> {
+            Ok(view.table(&Sym::new("d")).count() < self.0)
+        }
+    }
+    let program = Program::builder(base_reg())
+        .rules_text("r d(@N, X) :- e(@N, X), at_most!(N).")
+        .unwrap()
+        .builtin(Arc::new(AtMost(2)))
+        .build()
+        .unwrap();
+    let mut eng = Engine::new(program, NullSink);
+    let n = NodeId::new("n");
+    // Spaced insertions: each derivation lands before the next stimulus,
+    // so the gate sees the up-to-date count.
+    for i in 0..5u64 {
+        eng.schedule_insert(i * 100, n.clone(), tuple!("e", i as i64)).unwrap();
+    }
+    eng.run().unwrap();
+    let derived = eng
+        .view(&n)
+        .unwrap()
+        .table(&Sym::new("d"))
+        .count();
+    assert_eq!(derived, 2, "the stateful gate must stop the third derivation");
+}
+
+#[test]
+fn native_emissions_are_schema_checked() {
+    struct BadEmitter;
+    impl NativeRule for BadEmitter {
+        fn name(&self) -> Sym {
+            Sym::new("bad")
+        }
+        fn triggers(&self) -> Vec<Sym> {
+            vec![Sym::new("e")]
+        }
+        fn fire(&self, view: &NodeView<'_>, trigger: &Tuple, out: &mut Emitter) -> Result<()> {
+            // Wrong arity for table d.
+            out.emit(
+                view.node.clone(),
+                Tuple::new("d", vec![Value::Int(1), Value::Int(2)]),
+                vec![TupleRef::new(view.node.clone(), trigger.clone())],
+            );
+            Ok(())
+        }
+    }
+    let program = Program::builder(base_reg())
+        .native(Arc::new(BadEmitter))
+        .build()
+        .unwrap();
+    let mut eng = Engine::new(program, NullSink);
+    eng.schedule_insert(0, NodeId::new("n"), tuple!("e", 1)).unwrap();
+    let err = eng.run().unwrap_err();
+    assert!(err.to_string().contains("arity"), "{err}");
+}
+
+#[test]
+fn self_join_fires_for_both_trigger_positions() {
+    let mut reg = SchemaRegistry::new();
+    reg.declare(Schema::new("p", TableKind::ImmutableBase, [("x", FieldType::Int)]));
+    reg.declare(Schema::new(
+        "pair",
+        TableKind::Derived,
+        [("a", FieldType::Int), ("b", FieldType::Int)],
+    ));
+    let program = Program::builder(reg)
+        .rules_text("r pair(@N, A, B) :- p(@N, A), p(@N, B), A < B.")
+        .unwrap()
+        .build()
+        .unwrap();
+    let mut eng = Engine::new(program, VecSink::default());
+    let n = NodeId::new("n");
+    eng.schedule_insert(0, n.clone(), tuple!("p", 1)).unwrap();
+    eng.schedule_insert(10, n.clone(), tuple!("p", 2)).unwrap();
+    eng.schedule_insert(20, n.clone(), tuple!("p", 3)).unwrap();
+    eng.run().unwrap();
+    let pairs: Vec<Tuple> = eng
+        .view(&n)
+        .unwrap()
+        .table(&Sym::new("pair"))
+        .cloned()
+        .collect();
+    assert_eq!(
+        pairs,
+        vec![tuple!("pair", 1, 2), tuple!("pair", 1, 3), tuple!("pair", 2, 3)]
+    );
+}
+
+#[test]
+fn arithmetic_failures_suppress_single_firings() {
+    // Division by zero in an assignment silently skips the firing rather
+    // than killing the run (per-header arithmetic on hostile inputs).
+    let mut reg = SchemaRegistry::new();
+    reg.declare(Schema::new("e", TableKind::ImmutableBase, [("x", FieldType::Int)]));
+    reg.declare(Schema::new("d", TableKind::Derived, [("y", FieldType::Int)]));
+    let program = Program::builder(reg)
+        .rules_text("r d(@N, Y) :- e(@N, X), Y := 100 / X.")
+        .unwrap()
+        .build()
+        .unwrap();
+    let mut eng = Engine::new(program, NullSink);
+    let n = NodeId::new("n");
+    eng.schedule_insert(0, n.clone(), tuple!("e", 0)).unwrap(); // would divide by zero
+    eng.schedule_insert(0, n.clone(), tuple!("e", 4)).unwrap();
+    eng.run().unwrap();
+    let derived: Vec<Tuple> = eng
+        .view(&n)
+        .unwrap()
+        .table(&Sym::new("d"))
+        .cloned()
+        .collect();
+    assert_eq!(derived, vec![tuple!("d", 25)]);
+}
+
+#[test]
+fn remote_delivery_respects_link_delay_ordering() {
+    let mut reg = SchemaRegistry::new();
+    reg.declare(Schema::new("ping", TableKind::ImmutableBase, [("v", FieldType::Int)]));
+    reg.declare(Schema::new("nbr", TableKind::MutableBase, [("next", FieldType::Str)]));
+    reg.declare(Schema::new("pong", TableKind::Derived, [("v", FieldType::Int)]));
+    let program = Program::builder(reg)
+        .rules_text("fwd pong(@M, V) :- ping(@N, V), nbr(@N, M).")
+        .unwrap()
+        .build()
+        .unwrap();
+    let mut eng = Engine::new(program, VecSink::default());
+    let n1 = NodeId::new("n1");
+    eng.schedule_insert(0, n1.clone(), tuple!("nbr", "n2")).unwrap();
+    eng.schedule_insert(100, n1.clone(), tuple!("ping", 7)).unwrap();
+    eng.run().unwrap();
+    // The remote pong appears strictly after the ping (link delay >= 1).
+    let events = eng.sink().events.clone();
+    let t_ping = events
+        .iter()
+        .find_map(|e| match e {
+            dp_ndlog::ProvEvent::Appear { time, tuple, .. } if tuple.table == "ping" => Some(*time),
+            _ => None,
+        })
+        .unwrap();
+    let t_pong = events
+        .iter()
+        .find_map(|e| match e {
+            dp_ndlog::ProvEvent::Appear { time, tuple, .. } if tuple.table == "pong" => Some(*time),
+            _ => None,
+        })
+        .unwrap();
+    assert!(t_pong > t_ping);
+}
+
+#[test]
+fn snapshot_requires_quiescence() {
+    let program = Program::builder(base_reg()).build().unwrap();
+    let mut eng = Engine::new(program, NullSink);
+    eng.schedule_insert(0, NodeId::new("n"), tuple!("e", 1)).unwrap();
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eng.snapshot()));
+    assert!(res.is_err(), "snapshot with queued events must panic");
+    eng.run().unwrap();
+    let snap = eng.snapshot();
+    assert!(snap.time() > 0);
+}
+
+#[test]
+fn aggregation_rules_group_and_fold() {
+    // wordCount-style: total(@N, W, agg_sum(C)) :- fence(@N, G), obs(@N, W, C).
+    let mut reg = SchemaRegistry::new();
+    reg.declare(Schema::new("fence", TableKind::ImmutableBase, [("g", FieldType::Int)]));
+    reg.declare(Schema::new(
+        "obs",
+        TableKind::ImmutableBase,
+        [("w", FieldType::Str), ("c", FieldType::Int), ("id", FieldType::Int)],
+    ));
+    reg.declare(Schema::new(
+        "total",
+        TableKind::Derived,
+        [("w", FieldType::Str), ("sum", FieldType::Int)],
+    ));
+    reg.declare(Schema::new(
+        "peak",
+        TableKind::Derived,
+        [("w", FieldType::Str), ("max", FieldType::Int)],
+    ));
+    reg.declare(Schema::new("howmany", TableKind::Derived, [("n", FieldType::Int)]));
+    let program = Program::builder(reg)
+        .rules_text(
+            "rsum total(@N, W, agg_sum(C)) :- fence(@N, G), obs(@N, W, C, I).\n\
+             rmax peak(@N, W, agg_max(C)) :- fence(@N, G), obs(@N, W, C, I).\n\
+             rcnt howmany(@N, agg_count(C)) :- fence(@N, G), obs(@N, W, C, I).",
+        )
+        .unwrap()
+        .build()
+        .unwrap();
+    let mut eng = Engine::new(program, VecSink::default());
+    let n = NodeId::new("n");
+    eng.schedule_insert(0, n.clone(), tuple!("obs", "a", 2, 1)).unwrap();
+    eng.schedule_insert(0, n.clone(), tuple!("obs", "a", 5, 2)).unwrap();
+    eng.schedule_insert(0, n.clone(), tuple!("obs", "b", 7, 3)).unwrap();
+    eng.schedule_insert(1_000, n.clone(), tuple!("fence", 1)).unwrap();
+    eng.run().unwrap();
+    let view = eng.view(&n).unwrap();
+    let totals: Vec<Tuple> = view.table(&Sym::new("total")).cloned().collect();
+    assert_eq!(totals, vec![tuple!("total", "a", 7), tuple!("total", "b", 7)]);
+    let peaks: Vec<Tuple> = view.table(&Sym::new("peak")).cloned().collect();
+    assert_eq!(peaks, vec![tuple!("peak", "a", 5), tuple!("peak", "b", 7)]);
+    let counts: Vec<Tuple> = view.table(&Sym::new("howmany")).cloned().collect();
+    assert_eq!(counts, vec![tuple!("howmany", 3)]);
+}
+
+#[test]
+fn aggregation_provenance_reports_all_contributors() {
+    let mut reg = SchemaRegistry::new();
+    reg.declare(Schema::new("fence", TableKind::ImmutableBase, [("g", FieldType::Int)]));
+    reg.declare(Schema::new(
+        "obs",
+        TableKind::ImmutableBase,
+        [("w", FieldType::Str), ("c", FieldType::Int), ("id", FieldType::Int)],
+    ));
+    reg.declare(Schema::new(
+        "total",
+        TableKind::Derived,
+        [("w", FieldType::Str), ("sum", FieldType::Int)],
+    ));
+    let program = Program::builder(reg)
+        .rules_text("rsum total(@N, W, agg_sum(C)) :- fence(@N, G), obs(@N, W, C, I).")
+        .unwrap()
+        .build()
+        .unwrap();
+    let mut eng = Engine::new(program, NullSink);
+    let n = NodeId::new("n");
+    eng.schedule_insert(0, n.clone(), tuple!("obs", "a", 2, 1)).unwrap();
+    eng.schedule_insert(0, n.clone(), tuple!("obs", "a", 5, 2)).unwrap();
+    eng.schedule_insert(1_000, n.clone(), tuple!("fence", 1)).unwrap();
+    eng.run().unwrap();
+    let st = eng.lookup(&n, &tuple!("total", "a", 7)).unwrap();
+    assert_eq!(st.derivations.len(), 1);
+    let body = &st.derivations[0].body;
+    // Fence first (the trigger), then both contributing observations.
+    assert_eq!(body[0].tuple, tuple!("fence", 1));
+    assert_eq!(body.len(), 3);
+}
+
+#[test]
+fn aggregation_ignores_tuples_after_the_fence() {
+    let mut reg = SchemaRegistry::new();
+    reg.declare(Schema::new("fence", TableKind::ImmutableBase, [("g", FieldType::Int)]));
+    reg.declare(Schema::new(
+        "obs",
+        TableKind::ImmutableBase,
+        [("w", FieldType::Str), ("c", FieldType::Int), ("id", FieldType::Int)],
+    ));
+    reg.declare(Schema::new(
+        "total",
+        TableKind::Derived,
+        [("w", FieldType::Str), ("sum", FieldType::Int)],
+    ));
+    let program = Program::builder(reg)
+        .rules_text("rsum total(@N, W, agg_sum(C)) :- fence(@N, G), obs(@N, W, C, I).")
+        .unwrap()
+        .build()
+        .unwrap();
+    let mut eng = Engine::new(program, NullSink);
+    let n = NodeId::new("n");
+    eng.schedule_insert(0, n.clone(), tuple!("obs", "a", 2, 1)).unwrap();
+    eng.schedule_insert(100, n.clone(), tuple!("fence", 1)).unwrap();
+    eng.schedule_insert(10_000, n.clone(), tuple!("obs", "a", 40, 2)).unwrap();
+    eng.run().unwrap();
+    assert!(eng.lookup(&n, &tuple!("total", "a", 2)).is_some());
+    assert!(eng.lookup(&n, &tuple!("total", "a", 42)).is_none());
+}

@@ -1,0 +1,145 @@
+//! Property test: the concrete syntax round-trips. Any rule built from the
+//! AST, printed with `Display`, parses back to the identical AST.
+//!
+//! (String literals are excluded from generated patterns: `Display` prints
+//! them bare for readability, which is deliberately not re-parseable as a
+//! literal.)
+
+use proptest::prelude::*;
+
+use dp_ndlog::{parse_rule, Assign, BinOp, BodyAtom, Constraint, Expr, HeadAtom, Pattern, Rule};
+use dp_types::{Prefix, Sym, Value};
+
+fn arb_var() -> impl Strategy<Value = Sym> {
+    "[A-Z][a-z0-9]{0,3}".prop_map(|s| Sym::new(s))
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        any::<u32>().prop_map(Value::Ip),
+        (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Value::Prefix(Prefix::new(a, l).unwrap())),
+    ]
+}
+
+fn arb_pattern(vars: Vec<Sym>) -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        3 => proptest::sample::select(vars).prop_map(Pattern::Var),
+        2 => arb_value().prop_map(Pattern::Const),
+        1 => Just(Pattern::Wildcard),
+    ]
+}
+
+fn arb_arith(vars: Vec<Sym>) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        proptest::sample::select(vars).prop_map(Expr::Var),
+        (-1000i64..1000).prop_map(|i| Expr::val(i)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        (
+            proptest::sample::select(vec![BinOp::Add, BinOp::Sub, BinOp::Mul]),
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, l, r)| Expr::bin(op, l, r))
+    })
+}
+
+prop_compose! {
+    fn arb_rule()(
+        vars in proptest::collection::vec(arb_var(), 2..5),
+        n_atoms in 1usize..3,
+        pat_seed in proptest::collection::vec(0u8..=255, 12),
+        assign_expr in arb_arith(vec![Sym::new("Z0"), Sym::new("Z1")]),
+        cmp in proptest::sample::select(vec![BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge, BinOp::Eq, BinOp::Ne]),
+    )(
+        vars in Just(vars.clone()),
+        n_atoms in Just(n_atoms),
+        patterns in proptest::collection::vec(
+            arb_pattern({
+                // Patterns draw from the declared vars plus the two
+                // assignment inputs.
+                let mut v = vars;
+                v.push(Sym::new("Z0"));
+                v.push(Sym::new("Z1"));
+                v
+            }),
+            (n_atoms * 2)..(n_atoms * 2 + 1),
+        ),
+        assign_expr in Just(assign_expr),
+        cmp in Just(cmp),
+        _seed in Just(pat_seed),
+    ) -> Rule {
+        // Guarantee Z0/Z1 are bound: force the first atom's patterns.
+        let mut patterns = patterns;
+        patterns[0] = Pattern::Var(Sym::new("Z0"));
+        patterns[1] = Pattern::Var(Sym::new("Z1"));
+        let body: Vec<BodyAtom> = (0..n_atoms)
+            .map(|i| BodyAtom {
+                table: Sym::new(format!("t{i}")),
+                loc: Sym::new("N"),
+                args: patterns[i * 2..i * 2 + 2].to_vec(),
+            })
+            .collect();
+        let _ = vars;
+        Rule {
+            name: Sym::new("r"),
+            head: HeadAtom {
+                table: Sym::new("h"),
+                loc: Expr::var("N"),
+                args: vec![Expr::var("Z0"), Expr::var("W")],
+            },
+            body,
+            assigns: vec![Assign {
+                var: Sym::new("W"),
+                expr: assign_expr,
+            }],
+            constraints: vec![Constraint::Expr(Expr::bin(
+                cmp,
+                Expr::var("Z0"),
+                Expr::var("Z1"),
+            ))],
+            link_delay: 1,
+            agg: None,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_then_parse_is_identity(rule in arb_rule()) {
+        let text = rule.to_string();
+        let reparsed = parse_rule(&text)
+            .unwrap_or_else(|e| panic!("unparseable display {text:?}: {e}"));
+        prop_assert_eq!(rule, reparsed, "text was {}", text);
+    }
+}
+
+#[test]
+fn builtin_constraints_roundtrip() {
+    let rule = Rule {
+        name: Sym::new("r"),
+        head: HeadAtom {
+            table: Sym::new("h"),
+            loc: Expr::var("N"),
+            args: vec![Expr::var("X")],
+        },
+        body: vec![BodyAtom {
+            table: Sym::new("t"),
+            loc: Sym::new("N"),
+            args: vec![Pattern::Var(Sym::new("X"))],
+        }],
+        assigns: vec![],
+        constraints: vec![Constraint::Builtin {
+            name: Sym::new("best_match"),
+            args: vec![Expr::var("N"), Expr::var("X")],
+        }],
+        link_delay: 1,
+        agg: None,
+    };
+    let reparsed = parse_rule(&rule.to_string()).unwrap();
+    assert_eq!(rule, reparsed);
+}

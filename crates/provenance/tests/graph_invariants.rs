@@ -1,0 +1,164 @@
+//! Property tests: structural invariants of the temporal provenance graph
+//! hold under arbitrary insertion/deletion schedules.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use dp_ndlog::{Engine, Program};
+use dp_provenance::{extract_tree, GraphRecorder, ProvGraph, VertexKind};
+use dp_types::{tuple, FieldType, NodeId, Schema, SchemaRegistry, Sym, TableKind, TupleRef};
+
+fn program() -> Arc<Program> {
+    let mut reg = SchemaRegistry::new();
+    reg.declare(Schema::new("e", TableKind::ImmutableBase, [("x", FieldType::Int)]));
+    reg.declare(Schema::new("k", TableKind::MutableBase, [("v", FieldType::Int)]));
+    reg.declare(Schema::new("m", TableKind::Derived, [("y", FieldType::Int)]));
+    reg.declare(Schema::new("t", TableKind::Derived, [("y", FieldType::Int)]));
+    Program::builder(reg)
+        .rules_text(
+            "r1 m(@N, Y) :- e(@N, X), k(@N, V), Y := X + V.\n\
+             r2 t(@N, Z) :- m(@N, Y), Z := Y * 2.",
+        )
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+/// A random schedule of inserts and deletes, replayed into a graph.
+fn run_schedule(ops: &[(bool, bool, i64, u64)]) -> (ProvGraph, u64) {
+    // (is_delete, is_k_table, value, due)
+    let mut eng = Engine::new(program(), GraphRecorder::new());
+    let n = NodeId::new("n");
+    for &(is_delete, is_k, v, due) in ops {
+        let t = if is_k { tuple!("k", v) } else { tuple!("e", v) };
+        if is_delete && is_k {
+            eng.schedule_delete(due, n.clone(), t).unwrap();
+        } else {
+            eng.schedule_insert(due, n.clone(), t).unwrap();
+        }
+    }
+    eng.run().unwrap();
+    let now = eng.now();
+    (eng.into_sink().finish(), now)
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<(bool, bool, i64, u64)>> {
+    proptest::collection::vec(
+        (any::<bool>(), any::<bool>(), -3i64..3, 0u64..200),
+        1..30,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Vertex-type structure: EXIST -> APPEAR -> (INSERT|DERIVE), DERIVE
+    /// children are EXISTs, DISAPPEAR children are negative vertexes.
+    #[test]
+    fn vertex_children_follow_the_grammar(ops in arb_ops()) {
+        let (g, _) = run_schedule(&ops);
+        for v in g.vertices() {
+            match &v.kind {
+                VertexKind::Exist { .. } => {
+                    prop_assert_eq!(v.children.len(), 1);
+                    prop_assert!(matches!(g.vertex(v.children[0]).kind, VertexKind::Appear));
+                }
+                VertexKind::Appear => {
+                    prop_assert_eq!(v.children.len(), 1);
+                    let ok = matches!(
+                        g.vertex(v.children[0]).kind,
+                        VertexKind::Insert | VertexKind::Derive { .. }
+                    );
+                    prop_assert!(ok);
+                }
+                VertexKind::Derive { .. } => {
+                    for &c in &v.children {
+                        let ok = matches!(g.vertex(c).kind, VertexKind::Exist { .. });
+                        prop_assert!(ok);
+                    }
+                }
+                VertexKind::Disappear => {
+                    for &c in &v.children {
+                        let ok = matches!(
+                            g.vertex(c).kind,
+                            VertexKind::Delete | VertexKind::Underive { .. }
+                        );
+                        prop_assert!(ok);
+                    }
+                }
+                VertexKind::Insert | VertexKind::Delete | VertexKind::Underive { .. } => {
+                    prop_assert!(v.children.is_empty());
+                }
+            }
+        }
+    }
+
+    /// Episodes of one tuple never overlap and are ordered in time; EXIST
+    /// intervals agree with the episode records.
+    #[test]
+    fn episodes_are_disjoint_and_ordered(ops in arb_ops()) {
+        let (g, _) = run_schedule(&ops);
+        // Collect all trefs seen in the graph.
+        let mut seen = std::collections::BTreeSet::new();
+        for v in g.vertices() {
+            seen.insert(TupleRef::new(v.node.clone(), v.tuple.clone()));
+        }
+        for tref in seen {
+            let eps = g.episodes(&tref);
+            for w in eps.windows(2) {
+                let end = w[0].end.expect("only the last episode may be open");
+                prop_assert!(end <= w[1].start);
+            }
+            for ep in eps {
+                if let Some(end) = ep.end {
+                    prop_assert!(ep.start <= end);
+                }
+                match &g.vertex(ep.exist).kind {
+                    VertexKind::Exist { end } => prop_assert_eq!(*end, ep.end),
+                    other => prop_assert!(false, "episode.exist is {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Every derived tuple alive at the end has an extractable tree whose
+    /// root matches the query and whose leaves are all INSERT vertexes.
+    #[test]
+    fn live_tuples_have_well_formed_trees(ops in arb_ops()) {
+        let mut eng = Engine::new(program(), GraphRecorder::new());
+        let n = NodeId::new("n");
+        for &(is_delete, is_k, v, due) in &ops {
+            let t = if is_k { tuple!("k", v) } else { tuple!("e", v) };
+            if is_delete && is_k {
+                eng.schedule_delete(due, n.clone(), t).unwrap();
+            } else {
+                eng.schedule_insert(due, n.clone(), t).unwrap();
+            }
+        }
+        eng.run().unwrap();
+        let now = eng.now();
+        let live: Vec<TupleRef> = eng
+            .nodes()
+            .flat_map(|(node, st)| {
+                st.table(&Sym::new("t"))
+                    .map(|(t, _)| TupleRef::new(node.clone(), t.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let g = eng.into_sink().finish();
+        for tref in live {
+            let tree = extract_tree(&g, &tref, now);
+            prop_assert!(tree.is_some(), "live tuple {tref} has no tree");
+            let tree = tree.unwrap();
+            prop_assert_eq!(&tree.root().tuple, &tref.tuple);
+            for (_, leaf) in tree.leaves() {
+                prop_assert!(
+                    matches!(leaf.kind, VertexKind::Insert),
+                    "leaf {:?} is not an INSERT",
+                    leaf.kind
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! Executions and deterministic replay.
+//!
+//! An [`Execution`] bundles a program with the base-event log of one run of
+//! the primary system. Everything DiffProv needs is derived from it by
+//! *replay* (Section 5): reconstructing provenance at query time,
+//! re-running with a set of tuple changes applied to a **clone** of the
+//! execution (Section 4.6 — changes never touch the running system), and
+//! fast state reconstruction from checkpoints (Section 4.8).
+
+use std::sync::Arc;
+
+use dp_ndlog::{Engine, EngineSnapshot, NullSink, Program, TupleChange};
+use dp_provenance::{extract_tree, extract_tree_latest, GraphRecorder, ProvGraph, ProvTree};
+use dp_types::{LogicalTime, NodeId, Result, Tuple, TupleRef};
+
+use crate::log::{BaseOp, EventLog};
+
+/// A program plus the logged base events of one run.
+#[derive(Clone)]
+pub struct Execution {
+    /// The system model.
+    pub program: Arc<Program>,
+    /// The logged base events.
+    pub log: EventLog,
+}
+
+/// The outcome of a replay: a quiescent engine plus the provenance graph
+/// recorded during re-execution.
+pub struct Replayed {
+    /// The engine at quiescence (final state; usable for existence checks).
+    pub engine: Engine<GraphRecorder>,
+}
+
+impl Replayed {
+    /// The reconstructed provenance graph.
+    pub fn graph(&self) -> &ProvGraph {
+        &self.engine.sink().graph
+    }
+
+    /// The logical time at quiescence.
+    pub fn now(&self) -> LogicalTime {
+        self.engine.now()
+    }
+
+    /// True if the located tuple is present in the final state.
+    pub fn exists(&self, node: &NodeId, tuple: &Tuple) -> bool {
+        self.engine.lookup(node, tuple).is_some()
+    }
+
+    /// Extracts the provenance tree of `root` as of the final state.
+    pub fn query(&self, root: &TupleRef) -> Option<ProvTree> {
+        extract_tree(self.graph(), root, self.now())
+    }
+
+    /// Extracts the provenance tree of `root` as of `at` (temporal query;
+    /// tolerates tuples that have since disappeared).
+    pub fn query_at(&self, root: &TupleRef, at: LogicalTime) -> Option<ProvTree> {
+        extract_tree_latest(self.graph(), root, at)
+    }
+}
+
+impl Execution {
+    /// Creates an execution over `program` with an empty log.
+    pub fn new(program: Arc<Program>) -> Self {
+        Execution {
+            program,
+            log: EventLog::new(),
+        }
+    }
+
+    /// Replays the full log, recording provenance.
+    pub fn replay(&self) -> Result<Replayed> {
+        self.replay_until(None)
+    }
+
+    /// Replays the prefix of the log with `due <= until` (if given).
+    pub fn replay_until(&self, until: Option<LogicalTime>) -> Result<Replayed> {
+        let mut engine = Engine::new(Arc::clone(&self.program), GraphRecorder::new());
+        self.log.schedule_into(&mut engine, until)?;
+        engine.run()?;
+        Ok(Replayed { engine })
+    }
+
+    /// Replays without recording provenance — the "logging disabled"
+    /// baseline used to measure capture overhead (Section 6.4).
+    pub fn replay_null(&self) -> Result<Engine<NullSink>> {
+        let mut engine = Engine::new(Arc::clone(&self.program), NullSink);
+        self.log.schedule_into(&mut engine, None)?;
+        engine.run()?;
+        Ok(engine)
+    }
+
+    /// Replays a **clone** of this execution with `changes` applied
+    /// (Section 4.6). Pure insertions are injected at `inject_at`, i.e.
+    /// "shortly before they are needed for the first time".
+    pub fn replay_with(&self, changes: &[TupleChange], inject_at: LogicalTime) -> Result<Replayed> {
+        let patched = apply_changes(&self.log, changes, inject_at);
+        let clone = Execution {
+            program: Arc::clone(&self.program),
+            log: patched,
+        };
+        clone.replay()
+    }
+
+    /// Builds checkpoints by replaying once and snapshotting the quiescent
+    /// state after every `every` base events.
+    pub fn build_checkpoints(&self, every: usize) -> Result<CheckpointStore> {
+        assert!(every > 0, "checkpoint interval must be positive");
+        let mut store = CheckpointStore { snaps: Vec::new() };
+        let mut engine = Engine::new(Arc::clone(&self.program), NullSink);
+        let events = self.log.events();
+        let mut i = 0;
+        while i < events.len() {
+            let end = (i + every).min(events.len());
+            // Chunks must break on due-time boundaries, or the snapshot
+            // would split simultaneous events.
+            let mut end = end;
+            while end < events.len() && events[end].due == events[end - 1].due {
+                end += 1;
+            }
+            for e in &events[i..end] {
+                match e.op {
+                    BaseOp::Insert => {
+                        engine.schedule_insert(e.due, e.node.clone(), e.tuple.clone())?
+                    }
+                    BaseOp::Delete => {
+                        engine.schedule_delete(e.due, e.node.clone(), e.tuple.clone())?
+                    }
+                }
+            }
+            engine.run()?;
+            store.snaps.push(Checkpoint {
+                cut: events[end - 1].due,
+                snapshot: engine.snapshot(),
+            });
+            i = end;
+        }
+        Ok(store)
+    }
+
+    /// Ages out the log prefix covered by the latest checkpoint with
+    /// `cut < before`: the events are deleted and the checkpoint becomes
+    /// the replay starting point (Section 6.5's log aging). Returns the
+    /// cut time and the number of events dropped, or `None` when no
+    /// suitable checkpoint exists (nothing is dropped then — aging never
+    /// loses information that is not in a checkpoint).
+    pub fn age_out(
+        &mut self,
+        store: &CheckpointStore,
+        before: LogicalTime,
+    ) -> Option<(LogicalTime, usize)> {
+        let cp = store.latest_before(before)?;
+        let dropped = self.log.retain_after(cp.cut);
+        Some((cp.cut, dropped))
+    }
+
+    /// Replays only the log suffix after the latest checkpoint with
+    /// `cut < from`, restoring engine state from the snapshot. The
+    /// recorded graph covers the suffix only — this is the "selective
+    /// reconstruction" optimization the paper's query-time approach
+    /// enables.
+    pub fn replay_from_checkpoint(
+        &self,
+        store: &CheckpointStore,
+        from: LogicalTime,
+    ) -> Result<Replayed> {
+        match store.latest_before(from) {
+            Some(cp) => {
+                let mut engine = Engine::restore(
+                    Arc::clone(&self.program),
+                    cp.snapshot.clone(),
+                    GraphRecorder::new(),
+                );
+                for e in self.log.events() {
+                    if e.due <= cp.cut {
+                        continue;
+                    }
+                    match e.op {
+                        BaseOp::Insert => {
+                            engine.schedule_insert(e.due, e.node.clone(), e.tuple.clone())?
+                        }
+                        BaseOp::Delete => {
+                            engine.schedule_delete(e.due, e.node.clone(), e.tuple.clone())?
+                        }
+                    }
+                }
+                engine.run()?;
+                Ok(Replayed { engine })
+            }
+            None => self.replay(),
+        }
+    }
+}
+
+/// One checkpoint: all events with `due <= cut` are reflected in the
+/// snapshot.
+#[derive(Clone)]
+pub struct Checkpoint {
+    /// The due-time boundary of the snapshot.
+    pub cut: LogicalTime,
+    /// The quiescent engine state.
+    pub snapshot: EngineSnapshot,
+}
+
+/// A series of checkpoints in time order.
+#[derive(Clone, Default)]
+pub struct CheckpointStore {
+    snaps: Vec<Checkpoint>,
+}
+
+impl CheckpointStore {
+    /// Number of checkpoints.
+    pub fn len(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// True when no checkpoints were taken.
+    pub fn is_empty(&self) -> bool {
+        self.snaps.is_empty()
+    }
+
+    /// The latest checkpoint strictly before `t`.
+    pub fn latest_before(&self, t: LogicalTime) -> Option<&Checkpoint> {
+        self.snaps.iter().rev().find(|c| c.cut < t)
+    }
+}
+
+/// Applies `Δ_{B→G}` to a log, producing the patched log for the cloned
+/// replay.
+///
+/// * replacements rewrite every insert/delete event of the `before` tuple
+///   to the `after` tuple;
+/// * deletions drop the `before` tuple's events;
+/// * pure insertions (no `before`), and replacements whose `before` never
+///   occurs in the log, add an insertion at `inject_at`.
+pub fn apply_changes(log: &EventLog, changes: &[TupleChange], inject_at: LogicalTime) -> EventLog {
+    let mut out = EventLog::new();
+    let mut matched = vec![false; changes.len()];
+    'events: for e in log.events() {
+        for (ci, c) in changes.iter().enumerate() {
+            if let Some(before) = &c.before {
+                if c.node == e.node && *before == e.tuple {
+                    matched[ci] = true;
+                    match &c.after {
+                        Some(after) => out.push(crate::log::BaseEvent {
+                            due: e.due,
+                            node: e.node.clone(),
+                            tuple: after.clone(),
+                            op: e.op,
+                        }),
+                        None => {}
+                    }
+                    continue 'events;
+                }
+            }
+        }
+        out.push(e.clone());
+    }
+    for (ci, c) in changes.iter().enumerate() {
+        if matched[ci] {
+            continue;
+        }
+        if let Some(after) = &c.after {
+            out.insert(inject_at, c.node.clone(), after.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_types::{tuple, FieldType, Schema, SchemaRegistry, TableKind};
+
+    fn program() -> Arc<Program> {
+        let mut reg = SchemaRegistry::new();
+        reg.declare(Schema::new("in", TableKind::ImmutableBase, [("x", FieldType::Int)]));
+        reg.declare(Schema::new("cfg", TableKind::MutableBase, [("k", FieldType::Int)]));
+        reg.declare(Schema::new("out", TableKind::Derived, [("x", FieldType::Int)]));
+        Program::builder(reg)
+            .rules_text("r out(@N, Y) :- in(@N, X), cfg(@N, K), Y := X + K.")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn execution() -> Execution {
+        let mut exec = Execution::new(program());
+        exec.log.insert(0, "n1", tuple!("cfg", 10));
+        exec.log.insert(5, "n1", tuple!("in", 1));
+        exec.log.insert(9, "n1", tuple!("in", 2));
+        exec
+    }
+
+    #[test]
+    fn replay_reconstructs_state_and_provenance() {
+        let r = execution().replay().unwrap();
+        let n = NodeId::new("n1");
+        assert!(r.exists(&n, &tuple!("out", 11)));
+        assert!(r.exists(&n, &tuple!("out", 12)));
+        let tree = r.query(&TupleRef::new(n, tuple!("out", 11))).unwrap();
+        assert_eq!(tree.len(), 9);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let a = execution().replay().unwrap();
+        let b = execution().replay().unwrap();
+        assert_eq!(a.graph().len(), b.graph().len());
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn replay_with_replacement_change() {
+        let exec = execution();
+        let n = NodeId::new("n1");
+        let delta = [TupleChange {
+            node: n.clone(),
+            before: Some(tuple!("cfg", 10)),
+            after: Some(tuple!("cfg", 20)),
+        }];
+        let r = exec.replay_with(&delta, 0).unwrap();
+        assert!(r.exists(&n, &tuple!("out", 21)));
+        assert!(!r.exists(&n, &tuple!("out", 11)));
+        // The original execution is untouched (changes apply to a clone).
+        let orig = exec.replay().unwrap();
+        assert!(orig.exists(&n, &tuple!("out", 11)));
+    }
+
+    #[test]
+    fn replay_with_insertion_and_deletion_changes() {
+        let exec = execution();
+        let n = NodeId::new("n1");
+        let delta = [
+            TupleChange {
+                node: n.clone(),
+                before: None,
+                after: Some(tuple!("cfg", 100)),
+            },
+            TupleChange {
+                node: n.clone(),
+                before: Some(tuple!("cfg", 10)),
+                after: None,
+            },
+        ];
+        let r = exec.replay_with(&delta, 1).unwrap();
+        assert!(r.exists(&n, &tuple!("out", 101)));
+        assert!(!r.exists(&n, &tuple!("out", 11)));
+    }
+
+    #[test]
+    fn unmatched_replacement_falls_back_to_insertion() {
+        let exec = execution();
+        let n = NodeId::new("n1");
+        let delta = [TupleChange {
+            node: n.clone(),
+            before: Some(tuple!("cfg", 77)), // never logged
+            after: Some(tuple!("cfg", 30)),
+        }];
+        let r = exec.replay_with(&delta, 1).unwrap();
+        assert!(r.exists(&n, &tuple!("out", 31)));
+    }
+
+    #[test]
+    fn checkpoint_replay_matches_full_replay_state() {
+        let exec = execution();
+        let store = exec.build_checkpoints(2).unwrap();
+        assert!(!store.is_empty());
+        let n = NodeId::new("n1");
+        let fast = exec.replay_from_checkpoint(&store, 9).unwrap();
+        // Final state agrees with the full replay.
+        assert!(fast.exists(&n, &tuple!("out", 12)));
+        assert!(fast.exists(&n, &tuple!("out", 11)));
+        // But the recorded graph covers only the suffix: out(12)'s
+        // provenance is there, out(11)'s is not.
+        assert!(fast
+            .graph()
+            .episode_at(&TupleRef::new(n.clone(), tuple!("out", 12)), fast.now())
+            .is_some());
+        assert!(fast
+            .graph()
+            .episode_at(&TupleRef::new(n, tuple!("out", 11)), fast.now())
+            .is_none());
+    }
+
+    #[test]
+    fn aging_out_preserves_checkpointed_state() {
+        let mut exec = execution();
+        let store = exec.build_checkpoints(2).unwrap();
+        let full = exec.replay().unwrap();
+        let n = NodeId::new("n1");
+        let (cut, dropped) = exec.age_out(&store, 9).unwrap();
+        assert!(dropped > 0);
+        assert!(cut < 9);
+        // The aged log alone is no longer sufficient...
+        assert!(exec.log.len() < 3);
+        // ...but checkpoint + suffix reproduces the full final state.
+        let resumed = exec.replay_from_checkpoint(&store, 9).unwrap();
+        assert_eq!(
+            full.exists(&n, &tuple!("out", 11)),
+            resumed.exists(&n, &tuple!("out", 11))
+        );
+        assert_eq!(
+            full.exists(&n, &tuple!("out", 12)),
+            resumed.exists(&n, &tuple!("out", 12))
+        );
+    }
+
+    #[test]
+    fn aging_without_checkpoint_is_a_noop() {
+        let mut exec = execution();
+        let empty = CheckpointStore::default();
+        assert!(exec.age_out(&empty, 100).is_none());
+        assert_eq!(exec.log.len(), 3);
+    }
+
+    #[test]
+    fn null_replay_matches_recorded_state() {
+        let exec = execution();
+        let with = exec.replay().unwrap();
+        let without = exec.replay_null().unwrap();
+        let n = NodeId::new("n1");
+        assert_eq!(
+            with.engine.lookup(&n, &tuple!("out", 11)).is_some(),
+            without.lookup(&n, &tuple!("out", 11)).is_some()
+        );
+        assert_eq!(with.engine.stats().derivations, without.stats().derivations);
+    }
+}

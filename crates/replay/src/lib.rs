@@ -1,0 +1,19 @@
+//! # dp-replay — logging and deterministic replay
+//!
+//! The logging and replay engines of the DiffProv prototype (Section 5):
+//! a base-event [`log`] written at runtime, query-time provenance
+//! reconstruction by deterministic replay ([`exec`]), cloned replay with
+//! tuple changes applied (the UPDATETREE step of the algorithm), engine
+//! checkpoints for fast state reconstruction, and the [`storage`] cost
+//! model behind the Figure 5/6 experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod log;
+pub mod storage;
+
+pub use exec::{apply_changes, Checkpoint, CheckpointStore, Execution, Replayed};
+pub use log::{BaseEvent, BaseOp, EventLog};
+pub use storage::StorageModel;

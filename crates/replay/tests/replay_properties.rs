@@ -1,0 +1,152 @@
+//! Property tests on the replay layer: log ordering, change application,
+//! and storage accounting.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use dp_ndlog::{Program, TupleChange};
+use dp_replay::{apply_changes, EventLog, Execution, StorageModel};
+use dp_types::{tuple, FieldType, NodeId, Schema, SchemaRegistry, TableKind, Tuple, Value};
+
+fn program() -> Arc<Program> {
+    let mut reg = SchemaRegistry::new();
+    reg.declare(Schema::new("e", TableKind::ImmutableBase, [("x", FieldType::Int)]));
+    reg.declare(Schema::new("k", TableKind::MutableBase, [("v", FieldType::Int)]));
+    reg.declare(Schema::new("d", TableKind::Derived, [("y", FieldType::Int)]));
+    Program::builder(reg)
+        .rules_text("r d(@N, Y) :- e(@N, X), k(@N, V), Y := X + V.")
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The log is always sorted by due time, no matter the insertion order.
+    #[test]
+    fn log_is_sorted(mut dues in proptest::collection::vec(0u64..1000, 1..40)) {
+        let mut log = EventLog::new();
+        for (i, &due) in dues.iter().enumerate() {
+            log.insert(due, "n", tuple!("e", i as i64));
+        }
+        let got: Vec<u64> = log.events().iter().map(|e| e.due).collect();
+        dues.sort_unstable();
+        prop_assert_eq!(got, dues);
+    }
+
+    /// Storage accounting is additive: the log's byte size is the sum of
+    /// its records, and appending grows it by exactly the record size.
+    #[test]
+    fn storage_is_additive(values in proptest::collection::vec(-100i64..100, 1..20)) {
+        let model = StorageModel::default();
+        let mut log = EventLog::new();
+        let mut expected = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            log.insert(i as u64, "n", tuple!("e", v));
+            let last = log.events().iter().find(|e| e.tuple == tuple!("e", v)).unwrap();
+            expected += model.event_bytes(last) as u64;
+        }
+        prop_assert_eq!(model.log_bytes(&log), expected);
+    }
+
+    /// Replacement changes preserve log length; deletions shrink it by the
+    /// number of matched events; insertions grow it by one.
+    #[test]
+    fn apply_changes_preserves_counts(
+        ks in proptest::collection::vec(-5i64..5, 1..6),
+        target in -5i64..5,
+    ) {
+        let mut log = EventLog::new();
+        for (i, &k) in ks.iter().enumerate() {
+            log.insert(i as u64, "n", tuple!("k", k));
+        }
+        let n = NodeId::new("n");
+        let matched = ks.iter().filter(|&&k| k == target).count();
+
+        // Replacement: same length.
+        let replace = [TupleChange {
+            node: n.clone(),
+            before: Some(tuple!("k", target)),
+            after: Some(tuple!("k", 99)),
+        }];
+        let replaced = apply_changes(&log, &replace, 0);
+        if matched > 0 {
+            prop_assert_eq!(replaced.len(), log.len());
+            let rewritten = replaced
+                .events()
+                .iter()
+                .filter(|e| e.tuple == tuple!("k", 99))
+                .count();
+            prop_assert!(rewritten >= matched);
+        } else {
+            // Unmatched replacement falls back to one insertion.
+            prop_assert_eq!(replaced.len(), log.len() + 1);
+        }
+
+        // Deletion: shrinks by the matches.
+        let delete = [TupleChange {
+            node: n.clone(),
+            before: Some(tuple!("k", target)),
+            after: None,
+        }];
+        let deleted = apply_changes(&log, &delete, 0);
+        prop_assert_eq!(deleted.len(), log.len() - matched);
+
+        // Pure insertion: grows by one.
+        let insert = [TupleChange {
+            node: n,
+            before: None,
+            after: Some(tuple!("k", 77)),
+        }];
+        let inserted = apply_changes(&log, &insert, 0);
+        prop_assert_eq!(inserted.len(), log.len() + 1);
+    }
+
+    /// End-to-end: replaying with a replacement change produces exactly the
+    /// state of an execution built with the replacement from the start.
+    #[test]
+    fn patched_replay_equals_rebuilt_execution(
+        inputs in proptest::collection::vec(-20i64..20, 1..10),
+        k_before in -5i64..5,
+        k_after in -5i64..5,
+    ) {
+        let build = |k: i64| {
+            let mut exec = Execution::new(program());
+            exec.log.insert(0, "n", tuple!("k", k));
+            for (i, &x) in inputs.iter().enumerate() {
+                exec.log.insert(10 + i as u64, "n", tuple!("e", x));
+            }
+            exec
+        };
+        let orig = build(k_before);
+        let delta = [TupleChange {
+            node: NodeId::new("n"),
+            before: Some(tuple!("k", k_before)),
+            after: Some(tuple!("k", k_after)),
+        }];
+        let patched = orig.replay_with(&delta, 0).unwrap();
+        let rebuilt = build(k_after).replay().unwrap();
+        // Same derived state.
+        let n = NodeId::new("n");
+        let dump = |r: &dp_replay::Replayed| -> Vec<Tuple> {
+            r.engine
+                .view(&n)
+                .map(|v| v.table(&dp_types::Sym::new("d")).cloned().collect())
+                .unwrap_or_default()
+        };
+        prop_assert_eq!(dump(&patched), dump(&rebuilt));
+    }
+}
+
+#[test]
+fn string_fields_cost_their_length() {
+    let model = StorageModel::default();
+    let mut log = EventLog::new();
+    log.insert(0, "n", Tuple::new("e", vec![Value::str("ab")]));
+    log.insert(1, "n", Tuple::new("e", vec![Value::str("abcdef")]));
+    let a = model.event_bytes(&log.events()[0]);
+    let b = model.event_bytes(&log.events()[1]);
+    assert_eq!(b - a, 4);
+}

@@ -1,0 +1,160 @@
+//! Synthetic packet traces — the stand-in for the CAIDA OC-192 capture.
+//!
+//! The paper replays a CAIDA trace through the SDN1 network (Sections
+//! 6.4–6.5) and streams it as background traffic in the campus experiment
+//! (Section 6.7). The capture itself is proprietary, so we generate a
+//! seeded synthetic trace with the properties the experiments actually
+//! depend on: configurable rate and packet size, diverse addresses, and
+//! heavy-tailed flow lengths.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dp_types::Tuple;
+
+use crate::program::pkt_in;
+
+/// Configuration of the synthetic trace generator.
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    /// RNG seed — traces are fully reproducible.
+    pub seed: u64,
+    /// Number of packets to generate.
+    pub packets: usize,
+    /// Fixed packet size in bytes (the Figure 5/6 experiments sweep this).
+    pub packet_len: i64,
+    /// Source subnets to draw from (first octets); destinations are drawn
+    /// from the complement to keep probe traffic distinguishable.
+    pub src_octet_range: (u8, u8),
+    /// First packet id; each packet gets a unique id.
+    pub first_pid: i64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            seed: 42,
+            packets: 1000,
+            packet_len: 500,
+            src_octet_range: (64, 127),
+            first_pid: 1_000_000,
+        }
+    }
+}
+
+/// A generated trace.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// `pktIn` tuples in injection order.
+    pub packets: Vec<Tuple>,
+    /// Total bytes "on the wire" (sum of packet lengths).
+    pub wire_bytes: u64,
+}
+
+/// Generates a trace with heavy-tailed flows: a flow keeps emitting
+/// packets with probability 3/4, giving a geometric flow-size
+/// distribution with mean 4 — small flows dominate, a few flows are long,
+/// which is the qualitative shape of backbone traces.
+pub fn generate(cfg: &TraceConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut packets = Vec::with_capacity(cfg.packets);
+    let mut pid = cfg.first_pid;
+    let mut wire_bytes = 0u64;
+    let (lo, hi) = cfg.src_octet_range;
+    let mut flow: Option<(u32, u32, i64)> = None;
+    while packets.len() < cfg.packets {
+        let (src, dst, proto) = match flow {
+            Some(f) if rng.gen_bool(0.75) => f,
+            _ => {
+                let src = u32::from_be_bytes([
+                    rng.gen_range(lo..=hi),
+                    rng.gen(),
+                    rng.gen(),
+                    rng.gen(),
+                ]);
+                let dst = u32::from_be_bytes([
+                    rng.gen_range(lo..=hi),
+                    rng.gen(),
+                    rng.gen(),
+                    rng.gen(),
+                ]);
+                let proto = if rng.gen_bool(0.85) { 6 } else { 17 };
+                let f = (src, dst, proto);
+                flow = Some(f);
+                f
+            }
+        };
+        packets.push(pkt_in(pid, src, dst, proto, cfg.packet_len));
+        wire_bytes += cfg.packet_len as u64;
+        pid += 1;
+    }
+    Trace { packets, wire_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_reproducible() {
+        let cfg = TraceConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.packets, b.packets);
+        assert_eq!(a.wire_bytes, 1000 * 500);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&TraceConfig::default());
+        let b = generate(&TraceConfig {
+            seed: 7,
+            ..Default::default()
+        });
+        assert_ne!(a.packets, b.packets);
+    }
+
+    #[test]
+    fn pids_are_unique_and_sequential() {
+        let t = generate(&TraceConfig {
+            packets: 50,
+            ..Default::default()
+        });
+        for (i, p) in t.packets.iter().enumerate() {
+            assert_eq!(p.args[0], dp_types::Value::Int(1_000_000 + i as i64));
+        }
+    }
+
+    #[test]
+    fn packet_len_is_respected() {
+        let t = generate(&TraceConfig {
+            packets: 10,
+            packet_len: 1500,
+            ..Default::default()
+        });
+        assert!(t
+            .packets
+            .iter()
+            .all(|p| p.args[4] == dp_types::Value::Int(1500)));
+        assert_eq!(t.wire_bytes, 15_000);
+    }
+
+    #[test]
+    fn flows_are_heavy_tailed() {
+        // With continuation probability 0.75 we expect multi-packet flows;
+        // verify at least one flow has >= 4 packets and many flows exist.
+        let t = generate(&TraceConfig {
+            packets: 500,
+            ..Default::default()
+        });
+        use std::collections::BTreeMap;
+        let mut flows: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for p in &t.packets {
+            *flows
+                .entry((p.args[1].to_string(), p.args[2].to_string()))
+                .or_default() += 1;
+        }
+        assert!(flows.len() > 50, "too few flows: {}", flows.len());
+        assert!(flows.values().any(|&c| c >= 4), "no long flows");
+    }
+}

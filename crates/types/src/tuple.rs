@@ -1,0 +1,171 @@
+//! Tuples and node identities.
+
+use std::fmt;
+
+use crate::sym::Sym;
+use crate::value::Value;
+
+/// Identity of a node in the distributed system under diagnosis.
+///
+/// In the SDN scenarios these are switches and the controller (`S1`, `S2`,
+/// `ctl`); in MapReduce they are workers and the job driver.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub Sym);
+
+impl NodeId {
+    /// Creates a node id from a name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        NodeId(Sym::new(name))
+    }
+
+    /// The node's name.
+    pub fn as_str(&self) -> &str {
+        self.0.as_str()
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl From<&str> for NodeId {
+    fn from(s: &str) -> Self {
+        NodeId::new(s)
+    }
+}
+
+/// A row of a named table — the unit of state in the NDlog system model.
+///
+/// A tuple such as `flowEntry(5, 8, 1.2.3.4)` is represented as
+/// `Tuple { table: "flowEntry", args: [Int(5), Int(8), Ip(1.2.3.4)] }`.
+/// Tuples are location-free; the engine pairs them with a [`NodeId`] when
+/// storing them, mirroring the paper's `@X` location specifier.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple {
+    /// The table this tuple belongs to.
+    pub table: Sym,
+    /// The field values, in schema order.
+    pub args: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple from a table name and field values.
+    pub fn new(table: impl Into<Sym>, args: Vec<Value>) -> Self {
+        Tuple {
+            table: table.into(),
+            args,
+        }
+    }
+
+    /// The number of fields.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Borrow a field by index, if present.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.args.get(idx)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.table)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A tuple located at a node: the paper's `τ @ n`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleRef {
+    /// Where the tuple lives.
+    pub node: NodeId,
+    /// The tuple itself.
+    pub tuple: Tuple,
+}
+
+impl TupleRef {
+    /// Pairs a tuple with its location.
+    pub fn new(node: impl Into<NodeId>, tuple: Tuple) -> Self {
+        TupleRef {
+            node: node.into(),
+            tuple,
+        }
+    }
+}
+
+impl fmt::Display for TupleRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.tuple, self.node)
+    }
+}
+
+impl fmt::Debug for TupleRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Builds a [`Tuple`] tersely: `tuple!("flowEntry", 5, 8)`.
+#[macro_export]
+macro_rules! tuple {
+    ($table:expr $(, $arg:expr)* $(,)?) => {
+        $crate::Tuple::new($table, vec![$($crate::Value::from($arg)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix::ip;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let t = Tuple::new(
+            "flowEntry",
+            vec![Value::Int(5), Value::Int(8), Value::Ip(ip("1.2.3.4"))],
+        );
+        assert_eq!(t.to_string(), "flowEntry(5,8,1.2.3.4)");
+        let r = TupleRef::new("S2", t);
+        assert_eq!(r.to_string(), "flowEntry(5,8,1.2.3.4)@S2");
+    }
+
+    #[test]
+    fn tuple_macro_converts_values() {
+        let t = tuple!("cfg", 4, "reducers", true);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.args[0], Value::Int(4));
+        assert_eq!(t.args[1], Value::str("reducers"));
+        assert_eq!(t.args[2], Value::Bool(true));
+    }
+
+    #[test]
+    fn ordering_is_total_and_deterministic() {
+        let a = tuple!("a", 1);
+        let b = tuple!("a", 2);
+        let c = tuple!("b", 0);
+        let mut v = vec![c.clone(), b.clone(), a.clone()];
+        v.sort();
+        assert_eq!(v, vec![a, b, c]);
+    }
+}

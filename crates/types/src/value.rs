@@ -1,0 +1,237 @@
+//! The dynamic value type carried in tuple fields.
+
+use std::fmt;
+
+use crate::error::Error;
+use crate::prefix::Prefix;
+use crate::sym::Sym;
+
+/// A single field of a [`crate::Tuple`].
+///
+/// The variants mirror the attribute types that appear in the paper's
+/// scenarios: integers (ports, priorities, counts), IPv4 addresses and
+/// prefixes (match fields), strings (words, file names), checksums (file and
+/// bytecode identities in the MapReduce scenarios), booleans, and logical
+/// times (for the temporal provenance model of Section 3.2).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A signed integer (ports, priorities, counters, octets, ...).
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A string (words, host names, file names).
+    Str(Sym),
+    /// An IPv4 address.
+    Ip(u32),
+    /// An IPv4 prefix in CIDR form.
+    Prefix(Prefix),
+    /// A content checksum (stand-in for HDFS file checksums and Java
+    /// bytecode signatures from the paper's MapReduce instrumentation).
+    Sum(u64),
+    /// A logical timestamp.
+    Time(u64),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Sym::new(s))
+    }
+
+    /// A short tag naming the variant, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "str",
+            Value::Ip(_) => "ip",
+            Value::Prefix(_) => "prefix",
+            Value::Sum(_) => "sum",
+            Value::Time(_) => "time",
+        }
+    }
+
+    /// Extracts an integer, or errors with context.
+    pub fn as_int(&self) -> Result<i64, Error> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(Error::Type {
+                expected: "int",
+                got: other.type_name(),
+            }),
+        }
+    }
+
+    /// Extracts a boolean, or errors with context.
+    pub fn as_bool(&self) -> Result<bool, Error> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::Type {
+                expected: "bool",
+                got: other.type_name(),
+            }),
+        }
+    }
+
+    /// Extracts an IPv4 address, or errors with context.
+    pub fn as_ip(&self) -> Result<u32, Error> {
+        match self {
+            Value::Ip(ip) => Ok(*ip),
+            other => Err(Error::Type {
+                expected: "ip",
+                got: other.type_name(),
+            }),
+        }
+    }
+
+    /// Extracts a prefix; a bare IP address is promoted to a /32.
+    pub fn as_prefix(&self) -> Result<Prefix, Error> {
+        match self {
+            Value::Prefix(p) => Ok(*p),
+            Value::Ip(ip) => Ok(Prefix::host(*ip)),
+            other => Err(Error::Type {
+                expected: "prefix",
+                got: other.type_name(),
+            }),
+        }
+    }
+
+    /// Extracts a string symbol, or errors with context.
+    pub fn as_str(&self) -> Result<&Sym, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::Type {
+                expected: "str",
+                got: other.type_name(),
+            }),
+        }
+    }
+
+    /// Extracts a checksum, or errors with context.
+    pub fn as_sum(&self) -> Result<u64, Error> {
+        match self {
+            Value::Sum(s) => Ok(*s),
+            other => Err(Error::Type {
+                expected: "sum",
+                got: other.type_name(),
+            }),
+        }
+    }
+
+    /// Extracts a logical time, or errors with context.
+    pub fn as_time(&self) -> Result<u64, Error> {
+        match self {
+            Value::Time(t) => Ok(*t),
+            other => Err(Error::Type {
+                expected: "time",
+                got: other.type_name(),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Ip(ip) => f.write_str(&Prefix::fmt_ip(*ip)),
+            Value::Prefix(p) => write!(f, "{p}"),
+            Value::Sum(s) => write!(f, "#{s:016x}"),
+            Value::Time(t) => write!(f, "@{t}"),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s:?}"),
+            other => fmt::Display::fmt(other, f),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v.into())
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<Prefix> for Value {
+    fn from(v: Prefix) -> Self {
+        Value::Prefix(v)
+    }
+}
+
+impl From<Sym> for Value {
+    fn from(v: Sym) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix::{cidr, ip};
+
+    #[test]
+    fn accessors_check_types() {
+        assert_eq!(Value::Int(7).as_int().unwrap(), 7);
+        assert!(Value::Int(7).as_bool().is_err());
+        assert_eq!(Value::Bool(true).as_bool().unwrap(), true);
+        assert_eq!(Value::Ip(ip("1.2.3.4")).as_ip().unwrap(), ip("1.2.3.4"));
+        assert_eq!(Value::str("x").as_str().unwrap(), &Sym::new("x"));
+        assert_eq!(Value::Sum(9).as_sum().unwrap(), 9);
+        assert_eq!(Value::Time(5).as_time().unwrap(), 5);
+    }
+
+    #[test]
+    fn ip_promotes_to_host_prefix() {
+        let v = Value::Ip(ip("10.0.0.1"));
+        assert_eq!(v.as_prefix().unwrap(), Prefix::host(ip("10.0.0.1")));
+        let p = Value::Prefix(cidr("10.0.0.0/8"));
+        assert_eq!(p.as_prefix().unwrap(), cidr("10.0.0.0/8"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Ip(ip("1.2.3.4")).to_string(), "1.2.3.4");
+        assert_eq!(Value::Prefix(cidr("4.3.2.0/23")).to_string(), "4.3.2.0/23");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Time(12).to_string(), "@12");
+        assert_eq!(Value::str("web1").to_string(), "web1");
+    }
+
+    #[test]
+    fn error_messages_name_types() {
+        let err = Value::Bool(true).as_int().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("int") && msg.contains("bool"), "{msg}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests on the foundation types.
+
+use proptest::prelude::*;
+
+use dp_types::{Prefix, Sym, Tuple, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-z]{0,8}".prop_map(Value::str),
+        any::<u32>().prop_map(Value::Ip),
+        (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Value::Prefix(Prefix::new(a, l).unwrap())),
+        any::<u64>().prop_map(Value::Sum),
+        any::<u64>().prop_map(Value::Time),
+    ]
+}
+
+proptest! {
+    /// Value ordering is a total order consistent with equality.
+    #[test]
+    fn value_ordering_is_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.cmp(&b) == Ordering::Equal, a == b);
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// Tuple ordering is lexicographic over (table, args).
+    #[test]
+    fn tuple_ordering_is_lexicographic(
+        xs in proptest::collection::vec(arb_value(), 0..4),
+        ys in proptest::collection::vec(arb_value(), 0..4),
+    ) {
+        let a = Tuple::new("t", xs.clone());
+        let b = Tuple::new("t", ys.clone());
+        prop_assert_eq!(a.cmp(&b), xs.cmp(&ys));
+        let c = Tuple::new("s", xs);
+        prop_assert!(c < a || c.table == a.table);
+    }
+
+    /// IPv4 display/parse round-trips for every address.
+    #[test]
+    fn ip_display_roundtrips(ip in any::<u32>()) {
+        let s = Prefix::fmt_ip(ip);
+        prop_assert_eq!(Prefix::parse_ip(&s).unwrap(), ip);
+    }
+
+    /// Symbols hash and compare consistently with their strings.
+    #[test]
+    fn sym_matches_string(s in "[a-zA-Z0-9_]{0,12}") {
+        let sym = Sym::new(&s);
+        prop_assert_eq!(sym.as_str(), s.as_str());
+        let sym2 = Sym::new(&s);
+        prop_assert_eq!(&sym, &sym2);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |x: &Sym| {
+            let mut hh = DefaultHasher::new();
+            x.hash(&mut hh);
+            hh.finish()
+        };
+        prop_assert_eq!(h(&sym), h(&sym2));
+    }
+
+    /// Prefix containment is antisymmetric under `covers` and consistent
+    /// with `contains`.
+    #[test]
+    fn prefix_covers_consistency(a in (any::<u32>(), 0u8..=32), b in (any::<u32>(), 0u8..=32)) {
+        let pa = Prefix::new(a.0, a.1).unwrap();
+        let pb = Prefix::new(b.0, b.1).unwrap();
+        if pa.covers(&pb) {
+            prop_assert!(pa.contains(pb.addr()));
+            if pb.covers(&pa) {
+                prop_assert_eq!(pa, pb);
+            }
+        }
+    }
+}
+
+#[test]
+fn display_is_stable_for_key_examples() {
+    // These exact renderings appear in documentation and operator output;
+    // changing them is a compatibility break worth noticing.
+    assert_eq!(Value::Ip(dp_types::prefix::ip("4.3.2.1")).to_string(), "4.3.2.1");
+    assert_eq!(
+        Value::Prefix(dp_types::prefix::cidr("4.3.2.0/23")).to_string(),
+        "4.3.2.0/23"
+    );
+    assert_eq!(Value::Sum(0x600d).to_string(), "#000000000000600d");
+    let t = Tuple::new(
+        "cfgEntry",
+        vec![
+            Value::Int(1),
+            Value::str("S2"),
+            Value::Int(10),
+            Value::Prefix(dp_types::prefix::cidr("4.3.2.0/24")),
+        ],
+    );
+    assert_eq!(t.to_string(), "cfgEntry(1,S2,10,4.3.2.0/24)");
+}

@@ -1,0 +1,53 @@
+//! Complex-network forensics: the campus backbone experiment (§6.7).
+//!
+//! ```text
+//! cargo run --release --example campus_forensics
+//! ```
+//!
+//! A 16-router campus network with generated forwarding tables and ACLs
+//! carries heavy background traffic and — on top of the fault under
+//! investigation — twenty *other* misconfigured rules. A packet from H1 is
+//! dropped on its way to H2's subnet, while the co-located subnet is
+//! reachable. Because provenance captures true causality rather than
+//! correlations, DiffProv walks straight past all the noise to the
+//! misconfigured ACL entry.
+
+use diffprov::sdn::{campus, CampusConfig};
+
+fn main() {
+    let cfg = CampusConfig {
+        background_packets: 300,
+        bulk_entries_per_router: 8,
+        ..Default::default()
+    };
+    let campus = campus(&cfg);
+    println!(
+        "campus network: {} routers, {} forwarding/ACL entries, {} extra faults, \
+         {} background packets",
+        campus.topology.switch_names().len(),
+        campus.entry_count,
+        cfg.faults_on_path + cfg.faults_off_path,
+        cfg.background_packets,
+    );
+    println!("fault: {}\n", campus.scenario.description);
+
+    let report = campus.scenario.diagnose().expect("diagnosis runs");
+    println!(
+        "trees: good {} / bad {} vertexes",
+        report.good_tree_size, report.bad_tree_size
+    );
+    println!("{report}");
+    assert!(report.succeeded());
+    let named = report.delta.iter().any(|c| {
+        c.before
+            .as_ref()
+            .map(|b| b.args.first() == Some(&diffprov::types::Value::Int(2)))
+            == Some(true)
+    });
+    assert!(named, "the misconfigured oz4 entry must be in the change set");
+    println!(
+        "the misconfigured drop entry on oz4 is named despite {} unrelated faults — \
+         provenance follows causality, not correlation.",
+        cfg.faults_on_path + cfg.faults_off_path
+    );
+}

@@ -1,0 +1,107 @@
+//! Partial-failure debugging: the paper's flagship introduction example —
+//! "DNS servers A and B are returning stale records, but not C".
+//!
+//! ```text
+//! cargo run --example dns_debugging
+//! ```
+//!
+//! The most prevalent failure class in the paper's Outages-list survey
+//! (Section 2.4) is the *partial failure*: some instances of a service
+//! misbehave while others work, and the working instance is the natural
+//! reference. Here we model a fleet of DNS servers whose zone data drifted:
+//! server A still serves a record from before a migration, server C serves
+//! the fresh one. The operator hands DiffProv a stale answer from A and a
+//! fresh answer from C — with cross-node equivalence enabled
+//! (`map_seed_nodes`), DiffProv pinpoints the one zone record on A that
+//! needs updating.
+//!
+//! This is also the "bring your own system" walkthrough: the whole DNS
+//! model is three table declarations and one rule.
+
+use std::sync::Arc;
+
+use diffprov::core::{DiffProv, QueryEvent};
+use diffprov::ndlog::Program;
+use diffprov::replay::Execution;
+use diffprov::types::prefix::ip;
+use diffprov::types::{
+    tuple, FieldType, NodeId, Schema, SchemaRegistry, TableKind, Tuple, TupleRef, Value,
+};
+
+fn main() {
+    // 1. The system model: queries come in, zone records are operator
+    //    state, answers are derived.
+    let mut reg = SchemaRegistry::new();
+    reg.declare(Schema::new(
+        "query",
+        TableKind::ImmutableBase,
+        [("qid", FieldType::Int), ("name", FieldType::Str)],
+    ));
+    reg.declare(
+        Schema::new(
+            "zoneRecord",
+            TableKind::MutableBase,
+            [("name", FieldType::Str), ("addr", FieldType::Ip)],
+        )
+        .with_key([0]),
+    );
+    reg.declare(Schema::new(
+        "answer",
+        TableKind::Derived,
+        [("qid", FieldType::Int), ("name", FieldType::Str), ("addr", FieldType::Ip)],
+    ));
+    let program = Program::builder(reg)
+        .rules_text("resolve answer(@S, Q, N, A) :- query(@S, Q, N), zoneRecord(@S, N, A).")
+        .expect("rule parses")
+        .build()
+        .expect("program validates");
+
+    // 2. The fleet: A and B missed the migration of www, C has it.
+    let fresh = ip("203.0.113.10");
+    let stale = ip("198.51.100.1");
+    let mut exec = Execution::new(Arc::clone(&program));
+    for (server, addr) in [("dnsA", stale), ("dnsB", stale), ("dnsC", fresh)] {
+        exec.log.insert(10, server, record("www.example.org", addr));
+        exec.log.insert(10, server, record("mail.example.org", ip("203.0.113.25")));
+    }
+    // Clients query all three servers.
+    exec.log.insert(1_000, "dnsC", tuple!("query", 1, "www.example.org"));
+    exec.log.insert(2_000, "dnsA", tuple!("query", 2, "www.example.org"));
+
+    // 3. The symptom and the reference: A's answer is stale, C's is fresh.
+    let good = QueryEvent::new(
+        TupleRef::new("dnsC", answer(1, "www.example.org", fresh)),
+        u64::MAX,
+    );
+    let bad = QueryEvent::new(
+        TupleRef::new("dnsA", answer(2, "www.example.org", stale)),
+        u64::MAX,
+    );
+
+    // 4. Diagnose with cross-node equivalence: "treat dnsC's behaviour as
+    //    what dnsA should have done".
+    let mut dp = DiffProv::default();
+    dp.map_seed_nodes = true;
+    let report = dp.diagnose(&exec, &good, &exec, &bad).expect("diagnosis runs");
+    println!("{report}");
+    assert!(report.succeeded() && report.delta.len() == 1);
+    let change = &report.delta[0];
+    assert_eq!(change.node, NodeId::new("dnsA"));
+    assert_eq!(change.before, Some(record("www.example.org", stale)));
+    assert_eq!(change.after, Some(record("www.example.org", fresh)));
+    println!(
+        "the stale zone record on dnsA is the root cause; dnsB can be fixed the same \
+         way (re-run with its answer as the bad event)."
+    );
+}
+
+fn record(name: &str, addr: u32) -> Tuple {
+    Tuple::new("zoneRecord", vec![Value::str(name), Value::Ip(addr)])
+}
+
+fn answer(qid: i64, name: &str, addr: u32) -> Tuple {
+    Tuple::new(
+        "answer",
+        vec![Value::Int(qid), Value::str(name), Value::Ip(addr)],
+    )
+}

@@ -1,0 +1,43 @@
+//! Negative provenance walkthrough: explaining a *missing* event.
+//!
+//! ```text
+//! cargo run --example why_not
+//! ```
+//!
+//! In the campus network (§6.7), a packet to H2's subnet silently
+//! disappears. Before asking DiffProv for a fix, the operator can ask the
+//! Y!-style question "why was it NOT delivered?" — and gets a recursive
+//! explanation bottoming out at the switch whose flow table has no entry
+//! towards the host.
+
+use diffprov::provenance::why_not;
+use diffprov::sdn::{campus, deliver_at, CampusConfig};
+use diffprov::types::prefix::ip;
+
+fn main() {
+    let campus = campus(&CampusConfig {
+        background_packets: 0,
+        bulk_entries_per_router: 0,
+        ..Default::default()
+    });
+    let exec = &campus.scenario.bad_exec;
+    let replayed = exec.replay().expect("replay");
+
+    // The event that should have happened but did not: delivery at h2.
+    let missing = deliver_at("h2", 2, ip("172.18.7.7"), ip("172.20.10.33"), 6, 512);
+    assert!(
+        !replayed.exists(&missing.node, &missing.tuple),
+        "the fault must reproduce"
+    );
+
+    println!("why was {missing} never derived?\n");
+    let explanation = why_not(&replayed.engine, Some(replayed.graph()), &missing, 6);
+    println!("{explanation}");
+    println!(
+        "reading: delivery needed a pktOut towards h2's port on oz4, which needed a \n\
+         flow entry forwarding there — and oz4 has none (the /27 entry is a DROP).\n\
+         With the failure understood, DiffProv computes the fix:"
+    );
+    let report = campus.scenario.diagnose().expect("diagnosis runs");
+    println!("{report}");
+}

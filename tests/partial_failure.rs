@@ -1,0 +1,137 @@
+//! Cross-node partial failures: the paper's introduction example ("DNS
+//! servers A and B are returning stale records, but not C") as an
+//! executable test, plus the semantics of the node-equivalence switch.
+
+use std::sync::Arc;
+
+use diffprov::core::{DiffProv, Failure, QueryEvent};
+use diffprov::ndlog::Program;
+use diffprov::replay::Execution;
+use diffprov::types::prefix::ip;
+use diffprov::types::{
+    tuple, FieldType, NodeId, Schema, SchemaRegistry, TableKind, Tuple, TupleRef, Value,
+};
+
+fn dns_program() -> Arc<Program> {
+    let mut reg = SchemaRegistry::new();
+    reg.declare(Schema::new(
+        "query",
+        TableKind::ImmutableBase,
+        [("qid", FieldType::Int), ("name", FieldType::Str)],
+    ));
+    reg.declare(
+        Schema::new(
+            "zoneRecord",
+            TableKind::MutableBase,
+            [("name", FieldType::Str), ("addr", FieldType::Ip)],
+        )
+        .with_key([0]),
+    );
+    reg.declare(Schema::new(
+        "answer",
+        TableKind::Derived,
+        [("qid", FieldType::Int), ("name", FieldType::Str), ("addr", FieldType::Ip)],
+    ));
+    Program::builder(reg)
+        .rules_text("resolve answer(@S, Q, N, A) :- query(@S, Q, N), zoneRecord(@S, N, A).")
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+fn record(name: &str, addr: u32) -> Tuple {
+    Tuple::new("zoneRecord", vec![Value::str(name), Value::Ip(addr)])
+}
+
+fn answer(qid: i64, name: &str, addr: u32) -> Tuple {
+    Tuple::new(
+        "answer",
+        vec![Value::Int(qid), Value::str(name), Value::Ip(addr)],
+    )
+}
+
+fn dns_fleet() -> (Execution, u32, u32) {
+    let fresh = ip("203.0.113.10");
+    let stale = ip("198.51.100.1");
+    let mut exec = Execution::new(dns_program());
+    for (server, addr) in [("dnsA", stale), ("dnsB", stale), ("dnsC", fresh)] {
+        exec.log.insert(10, server, record("www.example.org", addr));
+    }
+    exec.log.insert(1_000, "dnsC", tuple!("query", 1, "www.example.org"));
+    exec.log.insert(2_000, "dnsA", tuple!("query", 2, "www.example.org"));
+    (exec, fresh, stale)
+}
+
+/// With node equivalence, the stale record on the broken server is the
+/// single change.
+#[test]
+fn stale_dns_record_is_pinpointed_across_nodes() {
+    let (exec, fresh, stale) = dns_fleet();
+    let good = QueryEvent::new(
+        TupleRef::new("dnsC", answer(1, "www.example.org", fresh)),
+        u64::MAX,
+    );
+    let bad = QueryEvent::new(
+        TupleRef::new("dnsA", answer(2, "www.example.org", stale)),
+        u64::MAX,
+    );
+    let mut dp = DiffProv::default();
+    dp.map_seed_nodes = true;
+    let report = dp.diagnose(&exec, &good, &exec, &bad).unwrap();
+    assert!(report.succeeded(), "{report}");
+    assert_eq!(report.delta.len(), 1, "{report}");
+    assert_eq!(report.delta[0].node, NodeId::new("dnsA"));
+    assert_eq!(report.delta[0].after, Some(record("www.example.org", fresh)));
+    assert!(report.verified, "{report}");
+    // And the fix really works: the replayed fleet serves the fresh
+    // record from A.
+    let fixed = exec.replay_with(&report.delta, 1_999).unwrap();
+    assert!(fixed.exists(
+        &NodeId::new("dnsA"),
+        &answer(2, "www.example.org", fresh)
+    ));
+}
+
+/// Without the opt-in, a cross-node reference is refused with the
+/// immutable-stimulus diagnostic — the paper's default semantics, which
+/// the MR1 scenario (where the node difference IS the symptom) depends on.
+#[test]
+fn cross_node_reference_requires_the_opt_in() {
+    let (exec, fresh, stale) = dns_fleet();
+    let good = QueryEvent::new(
+        TupleRef::new("dnsC", answer(1, "www.example.org", fresh)),
+        u64::MAX,
+    );
+    let bad = QueryEvent::new(
+        TupleRef::new("dnsA", answer(2, "www.example.org", stale)),
+        u64::MAX,
+    );
+    let report = DiffProv::default().diagnose(&exec, &good, &exec, &bad).unwrap();
+    match &report.failure {
+        Some(Failure::ImmutableChange { context, .. }) => {
+            assert!(context.contains("enter"), "{context}");
+        }
+        other => panic!("expected the immutable-stimulus diagnostic, got {other:?}"),
+    }
+}
+
+/// The second broken server is fixed by a second query — the workflow the
+/// example narrates.
+#[test]
+fn each_partial_failure_instance_diagnoses_independently() {
+    let (mut exec, fresh, stale) = dns_fleet();
+    exec.log.insert(3_000, "dnsB", tuple!("query", 3, "www.example.org"));
+    let good = QueryEvent::new(
+        TupleRef::new("dnsC", answer(1, "www.example.org", fresh)),
+        u64::MAX,
+    );
+    let bad_b = QueryEvent::new(
+        TupleRef::new("dnsB", answer(3, "www.example.org", stale)),
+        u64::MAX,
+    );
+    let mut dp = DiffProv::default();
+    dp.map_seed_nodes = true;
+    let report = dp.diagnose(&exec, &good, &exec, &bad_b).unwrap();
+    assert!(report.succeeded(), "{report}");
+    assert_eq!(report.delta[0].node, NodeId::new("dnsB"));
+}

@@ -1,0 +1,174 @@
+//! Property-based tests on the core data structures and invariants,
+//! spanning crates.
+
+use proptest::prelude::*;
+
+use diffprov::core::Formula;
+use diffprov::ndlog::{BinOp, Engine, Env, Expr, NullSink, Program};
+use diffprov::types::prefix::Prefix;
+use diffprov::types::{
+    tuple, FieldType, NodeId, Schema, SchemaRegistry, Sym, TableKind, Value,
+};
+use std::sync::Arc;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Prefix::new(addr, len).unwrap())
+}
+
+proptest! {
+    /// Widening always yields a prefix that contains both the original
+    /// base address and the target, and never narrows.
+    #[test]
+    fn widen_contains_both(p in arb_prefix(), ip in any::<u32>()) {
+        let w = p.widen_to_contain(ip);
+        prop_assert!(w.contains(ip));
+        prop_assert!(w.contains(p.addr()));
+        prop_assert!(w.len() <= p.len());
+        prop_assert!(w.covers(&p));
+    }
+
+    /// Widening is minimal: one more bit of length would exclude the
+    /// target (when the prefix had to change at all).
+    #[test]
+    fn widen_is_minimal(p in arb_prefix(), ip in any::<u32>()) {
+        let w = p.widen_to_contain(ip);
+        if w != p && w.len() < 32 {
+            let narrower = Prefix::new(w.addr(), w.len() + 1).unwrap();
+            prop_assert!(!(narrower.contains(ip) && narrower.contains(p.addr())));
+        }
+    }
+
+    /// Narrowing excludes the target, keeps the base, and never widens.
+    #[test]
+    fn narrow_excludes_target(p in arb_prefix(), ip in any::<u32>()) {
+        if let Some(n) = p.narrow_to_exclude(ip) {
+            prop_assert!(!n.contains(ip));
+            prop_assert!(n.contains(p.addr()));
+            prop_assert!(n.len() > p.len());
+            prop_assert!(p.covers(&n));
+        }
+    }
+
+    /// Prefix parse/display round-trips.
+    #[test]
+    fn prefix_display_roundtrips(p in arb_prefix()) {
+        let s = p.to_string();
+        let q: Prefix = s.parse().unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    /// Affine expressions invert exactly: solving `a*x + b == y` for the
+    /// value produced by any x recovers x.
+    #[test]
+    fn affine_inversion_roundtrips(a in 1i64..1000, b in -1000i64..1000, x in -10_000i64..10_000) {
+        let expr = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, Expr::val(a), Expr::var("x")),
+            Expr::val(b),
+        );
+        let mut env = Env::new();
+        env.insert(Sym::new("x"), Value::Int(x));
+        let y = expr.eval(&env).unwrap();
+        let solved = expr.invert(&y, &Env::new()).unwrap();
+        prop_assert_eq!(solved, vec![(Sym::new("x"), Value::Int(x))]);
+    }
+
+    /// XOR inversion round-trips.
+    #[test]
+    fn xor_inversion_roundtrips(k in any::<i64>(), x in any::<i64>()) {
+        let expr = Expr::bin(BinOp::BitXor, Expr::var("x"), Expr::val(k));
+        let mut env = Env::new();
+        env.insert(Sym::new("x"), Value::Int(x));
+        let y = expr.eval(&env).unwrap();
+        let solved = expr.invert(&y, &Env::new()).unwrap();
+        prop_assert_eq!(solved, vec![(Sym::new("x"), Value::Int(x))]);
+    }
+
+    /// Taint formulae: applying a formula built from the good seed to the
+    /// good seed reproduces the good value (the identity the alignment
+    /// relies on).
+    #[test]
+    fn formula_identity_on_good_seed(vals in proptest::collection::vec(-1000i64..1000, 1..6)) {
+        let seed = diffprov::types::Tuple::new(
+            "s",
+            vals.iter().map(|&v| Value::Int(v)).collect::<Vec<_>>(),
+        );
+        for (i, &v) in vals.iter().enumerate() {
+            let f = Formula::seed_field(i);
+            prop_assert_eq!(f.apply(&seed).unwrap(), Value::Int(v));
+        }
+    }
+}
+
+fn chain_program() -> Arc<Program> {
+    let mut reg = SchemaRegistry::new();
+    reg.declare(Schema::new("e", TableKind::ImmutableBase, [("x", FieldType::Int)]));
+    reg.declare(Schema::new("k", TableKind::MutableBase, [("v", FieldType::Int)]));
+    reg.declare(Schema::new("d", TableKind::Derived, [("y", FieldType::Int)]));
+    Program::builder(reg)
+        .rules_text("r d(@N, Y) :- e(@N, X), k(@N, V), Y := X * V.")
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Engine determinism under arbitrary insertion batches: two runs over
+    /// the same inputs produce identical derivation counts and identical
+    /// final state.
+    #[test]
+    fn engine_is_deterministic(
+        inputs in proptest::collection::vec((0u64..100, -50i64..50), 1..40),
+        ks in proptest::collection::vec(-5i64..5, 1..4),
+    ) {
+        let run = || {
+            let mut eng = Engine::new(chain_program(), NullSink);
+            let n = NodeId::new("n");
+            for (i, &kv) in ks.iter().enumerate() {
+                eng.schedule_insert(i as u64, n.clone(), tuple!("k", kv)).unwrap();
+            }
+            for &(due, x) in &inputs {
+                eng.schedule_insert(100 + due, n.clone(), tuple!("e", x)).unwrap();
+            }
+            eng.run().unwrap();
+            let stats = eng.stats();
+            let derived: Vec<_> = eng
+                .nodes()
+                .flat_map(|(_, st)| st.table(&Sym::new("d")).map(|(t, _)| t.clone()).collect::<Vec<_>>())
+                .collect();
+            (stats.derivations, derived)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Support counting: deleting every mutable k-tuple removes every
+    /// derived tuple (no leaks, no dangling support).
+    #[test]
+    fn deletion_drains_derived_state(
+        inputs in proptest::collection::vec(-50i64..50, 1..20),
+        ks in proptest::collection::vec(-5i64..5, 1..4),
+    ) {
+        let mut eng = Engine::new(chain_program(), NullSink);
+        let n = NodeId::new("n");
+        for &kv in &ks {
+            eng.schedule_insert(0, n.clone(), tuple!("k", kv)).unwrap();
+        }
+        for (i, &x) in inputs.iter().enumerate() {
+            eng.schedule_insert(100 + i as u64, n.clone(), tuple!("e", x)).unwrap();
+        }
+        eng.run().unwrap();
+        for &kv in &ks {
+            eng.schedule_delete(10_000, n.clone(), tuple!("k", kv)).unwrap();
+        }
+        eng.run().unwrap();
+        let remaining = eng
+            .nodes()
+            .flat_map(|(_, st)| st.table(&Sym::new("d")).collect::<Vec<_>>())
+            .count();
+        prop_assert_eq!(remaining, 0);
+    }
+}
