@@ -1,49 +1,34 @@
-//! Criterion benchmarks of whole DiffProv queries per scenario — the
-//! turnaround times behind Figure 7.
+//! Benchmarks of whole DiffProv queries per scenario — the turnaround
+//! times behind Figure 7.
+//!
+//! Run with `cargo bench -p dp-bench --features bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dp_bench::harness::{bench, black_box};
 
-fn bench_scenarios(c: &mut Criterion) {
-    let mut group = c.benchmark_group("diffprov");
-    group.sample_size(10);
+fn main() {
     for scenario in dp_sdn::all_sdn_scenarios() {
-        group.bench_function(scenario.name, |b| {
-            b.iter(|| {
-                let report = scenario.diagnose().unwrap();
-                assert!(report.succeeded());
-                criterion::black_box(report.delta.len())
-            })
+        bench(&format!("diffprov/{}", scenario.name), 10, || {
+            let report = scenario.diagnose().unwrap();
+            assert!(report.succeeded());
+            black_box(report.delta.len())
         });
     }
     for scenario in dp_mapreduce::all_mr_scenarios() {
-        group.bench_function(scenario.name, |b| {
-            b.iter(|| {
-                let report = scenario.diagnose().unwrap();
-                assert!(report.succeeded());
-                criterion::black_box(report.delta.len())
-            })
+        bench(&format!("diffprov/{}", scenario.name), 10, || {
+            let report = scenario.diagnose().unwrap();
+            assert!(report.succeeded());
+            black_box(report.delta.len())
         });
     }
-    group.finish();
-}
 
-fn bench_ybang_baseline(c: &mut Criterion) {
     // A single classical provenance query on the bad tree (the Y!
     // baseline in Figure 7).
-    let mut group = c.benchmark_group("ybang");
-    group.sample_size(10);
     let scenario = dp_sdn::sdn1();
-    group.bench_function("SDN1_bad_tree", |b| {
-        b.iter(|| {
-            let r = scenario.bad_exec.replay().unwrap();
-            let tree = r
-                .query_at(&scenario.bad_event.tref, scenario.bad_event.at)
-                .unwrap();
-            criterion::black_box(tree.len())
-        })
+    bench("ybang/SDN1_bad_tree", 10, || {
+        let r = scenario.bad_exec.replay().unwrap();
+        let tree = r
+            .query_at(&scenario.bad_event.tref, scenario.bad_event.at)
+            .unwrap();
+        black_box(tree.len())
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_scenarios, bench_ybang_baseline);
-criterion_main!(benches);

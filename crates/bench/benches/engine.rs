@@ -1,10 +1,12 @@
-//! Criterion micro-benchmarks of the NDlog engine: packet-processing
-//! throughput with and without provenance capture (the per-packet cost
-//! behind the Section 6.4 latency numbers).
+//! Micro-benchmarks of the NDlog engine: packet-processing throughput
+//! with and without provenance capture (the per-packet cost behind the
+//! Section 6.4 latency numbers).
+//!
+//! Run with `cargo bench -p dp-bench --features bench`.
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_bench::harness::{bench, black_box};
 use dp_replay::Execution;
 use dp_sdn::{cfg_entry, generate, sdn_program, Topology, TraceConfig};
 use dp_types::prefix::cidr;
@@ -30,45 +32,29 @@ fn pipeline_exec(packets: usize) -> Execution {
         packets,
         ..Default::default()
     });
-    let mut t = 100u64;
-    for p in trace.packets {
-        exec.log.insert(t, "S1", p);
-        t += 1;
+    for (i, p) in trace.packets.into_iter().enumerate() {
+        exec.log.insert(100 + i as u64, "S1", p);
     }
     exec
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine");
-    group.sample_size(10);
+fn main() {
     for &packets in &[500usize, 2_000] {
         let exec = pipeline_exec(packets);
-        group.bench_with_input(
-            BenchmarkId::new("replay_no_capture", packets),
-            &exec,
-            |b, exec| b.iter(|| exec.replay_null().unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("replay_with_capture", packets),
-            &exec,
-            |b, exec| b.iter(|| exec.replay().unwrap()),
-        );
+        bench(&format!("engine/replay_no_capture/{packets}"), 10, || {
+            exec.replay_null().unwrap()
+        });
+        bench(&format!("engine/replay_with_capture/{packets}"), 10, || {
+            exec.replay().unwrap()
+        });
     }
-    group.finish();
-}
 
-fn bench_single_packet(c: &mut Criterion) {
     // Marginal cost of one more packet, both modes.
     let small = pipeline_exec(100);
     let large = pipeline_exec(101);
-    c.bench_function("engine/marginal_packet", |b| {
-        b.iter(|| {
-            let a = small.replay_null().unwrap().stats().events;
-            let z = large.replay_null().unwrap().stats().events;
-            criterion::black_box(z - a)
-        })
+    bench("engine/marginal_packet", 10, || {
+        let a = small.replay_null().unwrap().stats().events;
+        let z = large.replay_null().unwrap().stats().events;
+        black_box(z - a)
     });
 }
-
-criterion_group!(benches, bench_engine, bench_single_packet);
-criterion_main!(benches);

@@ -1,10 +1,12 @@
-//! Criterion benchmarks of the provenance layer: tree extraction, the
-//! plain-diff strawman, and checkpointed vs. full replay.
+//! Benchmarks of the provenance layer: tree extraction, the plain-diff
+//! strawman, and checkpointed vs. full replay.
+//!
+//! Run with `cargo bench -p dp-bench --features bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dp_bench::harness::{bench, black_box};
 use dp_provenance::plain_tree_diff;
 
-fn bench_extraction_and_diff(c: &mut Criterion) {
+fn main() {
     let scenario = dp_sdn::sdn1();
     let replayed = scenario.good_exec.replay().unwrap();
     let good = replayed
@@ -14,41 +16,21 @@ fn bench_extraction_and_diff(c: &mut Criterion) {
         .query_at(&scenario.bad_event.tref, scenario.bad_event.at)
         .unwrap();
 
-    c.bench_function("provenance/extract_tree", |b| {
-        b.iter(|| {
-            let t = replayed
-                .query_at(&scenario.good_event.tref, scenario.good_event.at)
-                .unwrap();
-            criterion::black_box(t.len())
-        })
+    bench("provenance/extract_tree", 10, || {
+        let t = replayed
+            .query_at(&scenario.good_event.tref, scenario.good_event.at)
+            .unwrap();
+        black_box(t.len())
     });
-    c.bench_function("provenance/plain_tree_diff", |b| {
-        b.iter(|| criterion::black_box(plain_tree_diff(&good, &bad).len()))
+    bench("provenance/plain_tree_diff", 10, || {
+        black_box(plain_tree_diff(&good, &bad).len())
     });
-}
 
-fn bench_checkpointed_replay(c: &mut Criterion) {
-    let scenario = dp_sdn::sdn1();
     let exec = &scenario.good_exec;
     let store = exec.build_checkpoints(16).unwrap();
     let horizon = exec.log.horizon();
-
-    let mut group = c.benchmark_group("replay");
-    group.sample_size(20);
-    group.bench_function("full", |b| {
-        b.iter(|| criterion::black_box(exec.replay().unwrap().now()))
+    bench("replay/full", 20, || black_box(exec.replay().unwrap().now()));
+    bench("replay/from_checkpoint", 20, || {
+        black_box(exec.replay_from_checkpoint(&store, horizon).unwrap().now())
     });
-    group.bench_function("from_checkpoint", |b| {
-        b.iter(|| {
-            criterion::black_box(
-                exec.replay_from_checkpoint(&store, horizon)
-                    .unwrap()
-                    .now(),
-            )
-        })
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench_extraction_and_diff, bench_checkpointed_replay);
-criterion_main!(benches);

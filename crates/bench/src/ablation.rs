@@ -193,10 +193,8 @@ pub fn checkpoints(packets: usize, intervals: &[usize]) -> Result<Vec<Checkpoint
         packets,
         ..Default::default()
     });
-    let mut t = 100u64;
-    for p in trace.packets {
-        exec.log.insert(t, "S1", p);
-        t += 1;
+    for (i, p) in trace.packets.into_iter().enumerate() {
+        exec.log.insert(100 + i as u64, "S1", p);
     }
     let horizon = exec.log.horizon();
 

@@ -5,7 +5,7 @@
 //! cargo run -p dp-bench --release --bin repro -- table1
 //! ```
 
-use dp_bench::{ablation, complex, latency, query, storage, table1, unsuitable};
+use dp_bench::{ablation, complex, engine_bench, latency, query, storage, table1, unsuitable};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,10 +59,14 @@ fn dispatch(what: &str) {
         run_ablation();
         ran = true;
     }
+    if run_all || what == "enginebench" {
+        run_enginebench();
+        ran = true;
+    }
     if !ran {
         eprintln!(
             "unknown experiment {what:?}; available: all table1 fig5 fig6 fig7 fig8 \
-             unsuitable latency mrstorage complex ablation"
+             unsuitable latency mrstorage complex ablation enginebench"
         );
         std::process::exit(2);
     }
@@ -254,6 +258,59 @@ fn run_mrstorage() {
             m.log_bytes as f64 / m.corpus_bytes as f64 * 100.0
         );
     }
+}
+
+fn run_enginebench() {
+    banner("Engine: hash-indexed vs. naive joins (campus, 100k+ entries)");
+    let b = engine_bench::engine_bench(100_000, 20).expect("benchmark runs");
+    println!(
+        "  {} entries, {} background packets, {} events",
+        b.entries, b.background_packets, b.events
+    );
+    println!(
+        "  indexed {:.3}s vs naive {:.3}s -> {:.1}x speedup, {:.0} tuples/s",
+        b.indexed_secs,
+        b.naive_secs,
+        b.speedup(),
+        b.tuples_per_sec()
+    );
+    println!(
+        "  probes {} / scans {} (hit rate {:.1}%), peak tuples {}, streams identical: {}",
+        b.join_probes,
+        b.join_scans,
+        b.index_hit_rate * 100.0,
+        b.peak_tuples,
+        b.streams_identical
+    );
+    banner("Engine: FIB-lookup equality join (the indexed access path)");
+    let f = engine_bench::fib_bench(100_000, 200).expect("fib bench runs");
+    println!(
+        "  {} cfgEntry rows, {} lookups: indexed {:.3}s vs naive {:.3}s -> {:.0}x",
+        f.entries,
+        f.queries,
+        f.indexed_secs,
+        f.naive_secs,
+        f.speedup()
+    );
+    println!(
+        "  join candidates examined: indexed {} vs naive {}, streams identical: {}",
+        f.indexed_candidates, f.naive_candidates, f.streams_identical
+    );
+    println!("  checking indexed-vs-naive parity on all scenarios...");
+    let parity = engine_bench::scenario_parity().expect("parity runs");
+    for p in &parity {
+        println!(
+            "    {:<8} good {:>4} / bad {:>4} vertexes, identical: {}",
+            p.name, p.good_vertexes, p.bad_vertexes, p.identical
+        );
+    }
+    let json = engine_bench::to_json(&b, &f, &parity);
+    std::fs::write("BENCH_engine.json", &json).expect("BENCH_engine.json is writable");
+    println!("  wrote BENCH_engine.json");
+    assert!(
+        b.streams_identical && f.streams_identical && parity.iter().all(|p| p.identical),
+        "indexed and naive joins disagree"
+    );
 }
 
 fn run_complex() {

@@ -1,0 +1,61 @@
+//! A minimal wall-clock benchmarking harness.
+//!
+//! The workspace builds offline, so the micro-benchmark targets use this
+//! instead of an external framework: each measurement is a warmup run
+//! followed by `samples` timed runs, reported as min / median / mean.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark: timing summary over `samples` runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Fastest observed run.
+    pub min: Duration,
+    /// Median run (the headline number — robust to scheduler noise).
+    pub median: Duration,
+    /// Arithmetic mean over all runs.
+    pub mean: Duration,
+    /// Number of timed runs.
+    pub samples: usize,
+}
+
+impl std::fmt::Display for Measurement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "median {:>10.3?}  (min {:>10.3?}, mean {:>10.3?}, n={})",
+            self.median, self.min, self.mean, self.samples
+        )
+    }
+}
+
+/// Times `f` over `samples` runs (plus one untimed warmup) and returns the
+/// summary. The closure's return value is passed through [`black_box`] so
+/// the work cannot be optimized away.
+pub fn measure<T>(samples: usize, mut f: impl FnMut() -> T) -> Measurement {
+    assert!(samples > 0);
+    black_box(f());
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        black_box(f());
+        times.push(start.elapsed());
+    }
+    times.sort_unstable();
+    let mean = times.iter().sum::<Duration>() / samples as u32;
+    Measurement {
+        min: times[0],
+        median: times[samples / 2],
+        mean,
+        samples,
+    }
+}
+
+/// Runs a named benchmark and prints one aligned line.
+pub fn bench<T>(name: &str, samples: usize, f: impl FnMut() -> T) -> Measurement {
+    let m = measure(samples, f);
+    println!("{name:<40} {m}");
+    m
+}

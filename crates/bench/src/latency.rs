@@ -46,7 +46,7 @@ impl ProvenanceSink for RuntimeLogSink {
         for v in &tuple.args {
             // Emulate the fixed-size binary record encoding.
             let n = self.model.value_bytes(v);
-            self.buffer.extend(std::iter::repeat(0u8).take(n));
+            self.buffer.extend(std::iter::repeat_n(0u8, n));
         }
     }
 }
@@ -111,10 +111,8 @@ pub fn sdn_overhead(packets: usize, runs: usize) -> Result<Overhead> {
         packets,
         ..Default::default()
     });
-    let mut t = 100u64;
-    for p in trace.packets {
-        exec.log.insert(t, "S1", p);
-        t += 1;
+    for (i, p) in trace.packets.into_iter().enumerate() {
+        exec.log.insert(100 + i as u64, "S1", p);
     }
     let baseline = best_of(runs, || exec.replay_null().map(|_| ()))?;
     let with_capture = best_of(runs, || replay_logged(&exec).map(|_| ()))?;

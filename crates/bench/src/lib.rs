@@ -20,12 +20,15 @@
 //! | `mrstorage`  | §6.5 — MapReduce log sizes                            |
 //! | `complex`    | §6.7 — campus network with faults and noise           |
 //! | `ablation`   | design-choice ablations (butterfly, noise, checkpoints)|
+//! | `enginebench`| indexed vs. naive joins at scale → `BENCH_engine.json` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
 pub mod complex;
+pub mod engine_bench;
+pub mod harness;
 pub mod latency;
 pub mod query;
 pub mod storage;

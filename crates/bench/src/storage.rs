@@ -55,10 +55,8 @@ pub fn packet_log_cost(packets: usize, packet_len: i64) -> Result<PacketLogCost>
         packet_len,
         ..Default::default()
     });
-    let mut t = 100u64;
-    for p in trace.packets {
-        exec.log.insert(t, "S1", p);
-        t += 1;
+    for (i, p) in trace.packets.into_iter().enumerate() {
+        exec.log.insert(100 + i as u64, "S1", p);
     }
 
     // The border-switch packet log: pktIn records only.

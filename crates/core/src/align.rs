@@ -180,8 +180,8 @@ impl DiffProv {
             }
             Err(_) => {
                 report.failure = Some(Failure::SeedTypeMismatch {
-                    good: good_seed.tuple.clone(),
-                    bad: bad_seed.tuple.clone(),
+                    good: Tuple::clone(&good_seed.tuple),
+                    bad: Tuple::clone(&bad_seed.tuple),
                 });
                 return Ok(report);
             }
@@ -509,7 +509,7 @@ impl<'a, 'v> AlignCtx<'a, 'v> {
                         return Err(AlignError::Fail(Failure::ImmutableChange {
                             needed: TupleRef {
                                 node: req.clone(),
-                                tuple: self.taint.bad_seed().clone(),
+                                tuple: self.taint.bad_seed().clone().into(),
                             },
                             context: format!(
                                 "the stimulus entered at {seed_node}, but aligning with \
@@ -520,7 +520,7 @@ impl<'a, 'v> AlignCtx<'a, 'v> {
                 }
                 expected_children.push(TupleRef {
                     node: seed_node,
-                    tuple: self.taint.bad_seed().clone(),
+                    tuple: self.taint.bad_seed().clone().into(),
                 });
                 continue;
             }
@@ -551,7 +551,7 @@ impl<'a, 'v> AlignCtx<'a, 'v> {
                 .unwrap_or_else(|| child.tref.node.clone());
             expected_children.push(TupleRef {
                 node: body_node,
-                tuple: Tuple::new(child.tref.tuple.table.clone(), args),
+                tuple: Tuple::new(child.tref.tuple.table.clone(), args).into(),
             });
         }
         // All body atoms live on one node; if the expectations disagree
@@ -643,7 +643,7 @@ impl<'a, 'v> AlignCtx<'a, 'v> {
         self.delta.push(TupleChange {
             node: exp.node.clone(),
             before,
-            after: Some(exp.tuple.clone()),
+            after: Some(Tuple::clone(&exp.tuple)),
         });
         self.promised.insert(exp.clone());
         Ok(())
@@ -787,7 +787,8 @@ impl<'a, 'v> AlignCtx<'a, 'v> {
                         let cur = cur.as_prefix().map_err(AlignError::from)?;
                         let widened = Value::Prefix(cur.widen_to_contain(ip));
                         bad_env.insert(pvar.clone(), widened.clone());
-                        expected_children[src.atom].tuple.args[src.field] = widened;
+                        Arc::make_mut(&mut expected_children[src.atom].tuple).args[src.field] =
+                            widened;
                         return Ok(());
                     }
                 }
@@ -818,7 +819,8 @@ impl<'a, 'v> AlignCtx<'a, 'v> {
                     if let Some((var, val)) = cands.into_iter().next() {
                         if &var == x {
                             bad_env.insert(var, val.clone());
-                            expected_children[src.atom].tuple.args[src.field] = val;
+                            Arc::make_mut(&mut expected_children[src.atom].tuple).args
+                                [src.field] = val;
                             return Ok(());
                         }
                     }

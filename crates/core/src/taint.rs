@@ -73,7 +73,7 @@ impl<'a> TaintState<'a> {
             view,
             program,
             seed_tref: seed.tref.clone(),
-            bad_seed: bad_seed.clone(),
+            bad_seed: Tuple::clone(bad_seed),
             bad_seed_node: bad_seed_tref.node.clone(),
             node_mapped: false,
             memo: BTreeMap::new(),
@@ -289,7 +289,7 @@ impl<'a> TaintState<'a> {
     pub fn expected_tref(&mut self, idx: TreeIdx) -> Result<TupleRef> {
         Ok(TupleRef {
             node: self.expected_node(idx),
-            tuple: self.expected_tuple(idx)?,
+            tuple: self.expected_tuple(idx)?.into(),
         })
     }
 
@@ -328,7 +328,7 @@ impl<'a> TaintState<'a> {
             if self.is_seed_like(child_idx) {
                 out.push(TupleRef {
                     node: self.bad_seed_node.clone(),
-                    tuple: self.bad_seed.clone(),
+                    tuple: self.bad_seed.clone().into(),
                 });
                 continue;
             }
@@ -354,7 +354,7 @@ impl<'a> TaintState<'a> {
             }
             out.push(TupleRef {
                 node: self.map_node(&child.tref.node),
-                tuple: Tuple::new(child.tref.tuple.table.clone(), args),
+                tuple: Tuple::new(child.tref.tuple.table.clone(), args).into(),
             });
         }
         Ok(out)

@@ -7,8 +7,7 @@
 //! so "the buggy mapper drops the first word of each line" has a clean,
 //! queryable effect on specific word counts.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dp_types::DetRng;
 
 use dp_ndlog::expr::fnv1a;
 
@@ -58,17 +57,17 @@ pub const FIRST_WORDS: [&str; 2] = ["alpha", "beta"];
 
 /// Generates a corpus.
 pub fn generate(cfg: &CorpusConfig) -> Vec<InputFile> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = DetRng::seed_from_u64(cfg.seed);
     let vocab: Vec<String> = (0..cfg.vocabulary).map(|i| format!("w{i:03}")).collect();
     let mut files = Vec::with_capacity(cfg.files);
     for f in 0..cfg.files {
         let mut lines = Vec::with_capacity(cfg.lines_per_file);
         for _ in 0..cfg.lines_per_file {
             let mut words = Vec::with_capacity(cfg.words_per_line);
-            words.push(FIRST_WORDS[rng.gen_range(0..FIRST_WORDS.len())].to_string());
+            words.push(FIRST_WORDS[rng.gen_range_usize(0, FIRST_WORDS.len())].to_string());
             for _ in 1..cfg.words_per_line {
                 // Zipf-ish: rank ~ floor(vocab^u) biases towards low ranks.
-                let u: f64 = rng.gen();
+                let u: f64 = rng.gen_f64();
                 let rank = ((cfg.vocabulary as f64).powf(u) - 1.0) as usize;
                 words.push(vocab[rank.min(cfg.vocabulary - 1)].clone());
             }

@@ -34,7 +34,7 @@ fn moving_word(files: &[InputFile], a: i64, b: i64) -> (String, i64) {
     let mut best: Option<(String, i64)> = None;
     for (w, c) in counts {
         if reducer_of(&w, a) != reducer_of(&w, b)
-            && best.as_ref().map_or(true, |(_, bc)| c > *bc)
+            && best.as_ref().is_none_or(|(_, bc)| c > *bc)
         {
             best = Some((w, c));
         }

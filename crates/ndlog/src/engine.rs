@@ -12,15 +12,38 @@
 //! precondition appears (Section 4.2), joining against the body tuples
 //! already present. Deletions cascade through support counting, emitting
 //! the negative vertex events (DELETE/UNDERIVE/DISAPPEAR) of Section 3.2.
+//!
+//! # Join evaluation
+//!
+//! Joins run the build-time plans of [`crate::plan`]: each non-trigger body
+//! atom is joined in most-bound-first order, probing a secondary hash index
+//! keyed on its bound columns (falling back to a full ordered scan when no
+//! column is bound). Indexes are maintained incrementally by
+//! [`NodeState`] on insert/delete. A per-candidate bind/undo trail replaces
+//! the old environment-clone-per-candidate pattern, and tuples are interned
+//! behind `Arc` so derivation records and provenance events share one
+//! allocation per distinct tuple.
+//!
+//! Reordered probing discovers the same matches in a different order, so
+//! the engine restores determinism by sorting the collected matches by
+//! their body-tuple vector before acting on them. The naive nested-loop
+//! evaluator enumerates matches in exactly that order (depth-first over
+//! body atoms, each table scanned in BTree tuple order, the trigger slot
+//! constant), so the indexed join schedules byte-identical event streams.
+//! The naive path is kept behind [`Engine::set_naive_join`] as the
+//! reference for differential tests and before/after benchmarks.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 use std::sync::Arc;
 
-use dp_types::{Error, LogicalTime, NodeId, Result, Sym, TableKind, Tuple, TupleRef, Value};
+use dp_types::{
+    Error, LogicalTime, NodeId, Result, Sym, TableKind, Tuple, TupleRef, TupleStore, Value,
+};
 
-use crate::ast::{Constraint, Rule};
+use crate::ast::{BodyAtom, Constraint, Pattern, Rule};
 use crate::expr::Env;
+use crate::plan::{IndexSpecs, JoinPlan};
 use crate::program::{Emitter, Program};
 use crate::sink::{ProvEvent, ProvenanceSink};
 
@@ -56,16 +79,98 @@ impl TupleState {
     }
 }
 
+/// One table of one node: the tuples in deterministic BTree order, plus the
+/// secondary hash indexes the program's join plans registered for it.
+///
+/// `indexes[slot]` maps a key (the values of `specs[slot]`'s columns) to the
+/// bucket of live tuples with those values, kept as a `BTreeSet` so index
+/// probes still enumerate candidates in tuple order. The `HashMap` layer is
+/// only ever probed by key, never iterated, so its nondeterministic
+/// iteration order cannot leak into the event stream.
+#[derive(Clone, Debug, Default)]
+struct Table {
+    specs: IndexSpecs,
+    tuples: BTreeMap<Arc<Tuple>, TupleState>,
+    indexes: Vec<HashMap<Vec<Value>, BTreeSet<Arc<Tuple>>>>,
+}
+
+/// The values of `cols` in `tuple`, or `None` if any column is out of
+/// range (such a tuple can never match the atom the index serves).
+fn index_key(tuple: &Tuple, cols: &[usize]) -> Option<Vec<Value>> {
+    cols.iter().map(|&c| tuple.args.get(c).cloned()).collect()
+}
+
+impl Table {
+    fn with_specs(specs: IndexSpecs) -> Self {
+        let indexes = vec![HashMap::new(); specs.len()];
+        Table {
+            specs,
+            tuples: BTreeMap::new(),
+            indexes,
+        }
+    }
+
+    fn insert(&mut self, tuple: &Arc<Tuple>) -> &mut TupleState {
+        if !self.tuples.contains_key(&**tuple) {
+            for (slot, cols) in self.specs.iter().enumerate() {
+                if let Some(key) = index_key(tuple, cols) {
+                    self.indexes[slot]
+                        .entry(key)
+                        .or_default()
+                        .insert(Arc::clone(tuple));
+                }
+            }
+        }
+        self.tuples.entry(Arc::clone(tuple)).or_default()
+    }
+
+    fn remove(&mut self, tuple: &Tuple) {
+        if self.tuples.remove(tuple).is_none() {
+            return;
+        }
+        for (slot, cols) in self.specs.iter().enumerate() {
+            if let Some(key) = index_key(tuple, cols) {
+                if let Some(bucket) = self.indexes[slot].get_mut(&key) {
+                    bucket.remove(tuple);
+                    if bucket.is_empty() {
+                        self.indexes[slot].remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-derives every index from the tuple set under (possibly new)
+    /// specs. Used when restoring a checkpoint under a program whose index
+    /// requirements may differ from the one that took it.
+    fn rebuild(&mut self, specs: IndexSpecs) {
+        self.indexes = vec![HashMap::new(); specs.len()];
+        self.specs = specs;
+        for tuple in self.tuples.keys() {
+            for (slot, cols) in self.specs.iter().enumerate() {
+                if let Some(key) = index_key(tuple, cols) {
+                    self.indexes[slot]
+                        .entry(key)
+                        .or_default()
+                        .insert(Arc::clone(tuple));
+                }
+            }
+        }
+    }
+}
+
 /// The tables of a single node.
 #[derive(Clone, Debug, Default)]
 pub struct NodeState {
-    tables: BTreeMap<Sym, BTreeMap<Tuple, TupleState>>,
+    tables: BTreeMap<Sym, Table>,
 }
 
 impl NodeState {
     /// Looks up the state of a tuple.
     pub fn get(&self, tuple: &Tuple) -> Option<&TupleState> {
-        self.tables.get(&tuple.table).and_then(|t| t.get(tuple))
+        self.tables
+            .get(&tuple.table)
+            .and_then(|t| t.tuples.get(tuple))
     }
 
     /// True if the tuple is currently present (support > 0).
@@ -75,28 +180,73 @@ impl NodeState {
 
     /// Iterates over the live tuples of one table, in tuple order.
     pub fn table(&self, table: &Sym) -> impl Iterator<Item = (&Tuple, &TupleState)> {
-        self.tables.get(table).into_iter().flat_map(|t| t.iter())
+        self.tables
+            .get(table)
+            .into_iter()
+            .flat_map(|t| t.tuples.iter().map(|(k, v)| (&**k, v)))
     }
 
     /// Iterates over all live tuples on the node.
     pub fn all(&self) -> impl Iterator<Item = (&Tuple, &TupleState)> {
-        self.tables.values().flat_map(|t| t.iter())
+        self.tables
+            .values()
+            .flat_map(|t| t.tuples.iter().map(|(k, v)| (&**k, v)))
     }
 
-    fn entry(&mut self, tuple: &Tuple) -> &mut TupleState {
+    /// Total live tuples on the node.
+    pub fn len(&self) -> usize {
+        self.tables.values().map(|t| t.tuples.len()).sum()
+    }
+
+    /// True when the node holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tables.values().all(|t| t.tuples.is_empty())
+    }
+
+    fn table_arcs(&self, table: &Sym) -> impl Iterator<Item = &Arc<Tuple>> {
+        self.tables
+            .get(table)
+            .into_iter()
+            .flat_map(|t| t.tuples.keys())
+    }
+
+    /// Live tuples of `table` whose `specs[slot]` columns equal `key`, in
+    /// tuple order.
+    fn probe(&self, table: &Sym, slot: usize, key: &[Value]) -> impl Iterator<Item = &Arc<Tuple>> {
+        self.tables
+            .get(table)
+            .and_then(|t| t.indexes.get(slot))
+            .and_then(|ix| ix.get(key))
+            .into_iter()
+            .flatten()
+    }
+
+    fn entry(&mut self, tuple: &Arc<Tuple>, specs: Option<&IndexSpecs>) -> &mut TupleState {
         self.tables
             .entry(tuple.table.clone())
-            .or_default()
-            .entry(tuple.clone())
-            .or_default()
+            .or_insert_with(|| Table::with_specs(specs.cloned().unwrap_or_default()))
+            .insert(tuple)
+    }
+
+    fn get_mut(&mut self, tuple: &Tuple) -> Option<&mut TupleState> {
+        self.tables
+            .get_mut(&tuple.table)
+            .and_then(|t| t.tuples.get_mut(tuple))
     }
 
     fn remove(&mut self, tuple: &Tuple) {
         if let Some(t) = self.tables.get_mut(&tuple.table) {
             t.remove(tuple);
-            if t.is_empty() {
+            if t.tuples.is_empty() {
                 self.tables.remove(&tuple.table);
             }
+        }
+    }
+
+    fn reindex(&mut self, program: &Program) {
+        for (name, table) in &mut self.tables {
+            let specs = program.index_specs_for(name).cloned().unwrap_or_default();
+            table.rebuild(specs);
         }
     }
 }
@@ -128,11 +278,11 @@ impl<'a> NodeView<'a> {
 
 #[derive(Clone, Debug)]
 enum Action {
-    InsertBase(NodeId, Tuple),
-    DeleteBase(NodeId, Tuple),
+    InsertBase(NodeId, Arc<Tuple>),
+    DeleteBase(NodeId, Arc<Tuple>),
     InsertDerived {
         node: NodeId,
-        tuple: Tuple,
+        tuple: Arc<Tuple>,
         rule: Sym,
         body: Vec<TupleRef>,
         trigger: usize,
@@ -197,6 +347,65 @@ pub struct Stats {
     pub derivations: u64,
     /// Underivations recorded during cascades.
     pub underivations: u64,
+    /// Join steps answered by an index probe.
+    pub join_probes: u64,
+    /// Join steps answered by a full table scan.
+    pub join_scans: u64,
+    /// Candidate tuples examined across all join steps.
+    pub join_candidates: u64,
+    /// Complete body matches found by joins.
+    pub join_matches: u64,
+    /// High-water mark of live tuples across all nodes.
+    pub peak_tuples: u64,
+}
+
+impl Stats {
+    /// Fraction of join steps served by an index (1.0 when every step was
+    /// a probe; 0.0 when the engine only scanned, or never joined).
+    pub fn index_hit_rate(&self) -> f64 {
+        let total = self.join_probes + self.join_scans;
+        if total == 0 {
+            0.0
+        } else {
+            self.join_probes as f64 / total as f64
+        }
+    }
+}
+
+/// Per-rule join counters, exposed through [`Engine::join_profile`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuleJoinProfile {
+    /// Times the rule's join ran (trigger matched, body joined).
+    pub attempts: u64,
+    /// Join steps answered by an index probe.
+    pub probes: u64,
+    /// Join steps answered by a full table scan.
+    pub scans: u64,
+    /// Candidate tuples examined.
+    pub candidates: u64,
+    /// Complete body matches found.
+    pub matches: u64,
+}
+
+impl RuleJoinProfile {
+    /// Fraction of this rule's join steps served by an index.
+    pub fn index_hit_rate(&self) -> f64 {
+        let total = self.probes + self.scans;
+        if total == 0 {
+            0.0
+        } else {
+            self.probes as f64 / total as f64
+        }
+    }
+}
+
+/// Counters for one join invocation.
+#[derive(Clone, Copy, Debug, Default)]
+struct JoinCounters {
+    probes: u64,
+    scans: u64,
+    candidates: u64,
+    matches: u64,
 }
 
 /// The evaluator. See the module docs for semantics.
@@ -209,8 +418,12 @@ pub struct Engine<S: ProvenanceSink> {
     clock: LogicalTime,
     seq: u64,
     sink: S,
+    store: TupleStore,
     stats: Stats,
+    live_tuples: u64,
     rule_firings: BTreeMap<Sym, u64>,
+    join_profile: BTreeMap<Sym, RuleJoinProfile>,
+    naive_join: bool,
     /// Safety valve against runaway programs.
     pub max_events: u64,
 }
@@ -226,8 +439,12 @@ impl<S: ProvenanceSink> Engine<S> {
             clock: 0,
             seq: 0,
             sink,
+            store: TupleStore::new(),
             stats: Stats::default(),
+            live_tuples: 0,
             rule_firings: BTreeMap::new(),
+            join_profile: BTreeMap::new(),
+            naive_join: false,
             max_events: 50_000_000,
         }
     }
@@ -250,6 +467,24 @@ impl<S: ProvenanceSink> Engine<S> {
     /// How many times each rule (declarative or native) has fired.
     pub fn rule_firings(&self) -> &BTreeMap<Sym, u64> {
         &self.rule_firings
+    }
+
+    /// Per-rule join counters (probes, scans, candidates, matches).
+    pub fn join_profile(&self) -> &BTreeMap<Sym, RuleJoinProfile> {
+        &self.join_profile
+    }
+
+    /// Selects the join evaluator: `true` runs the naive nested-loop
+    /// reference (the pre-index implementation, kept for differential
+    /// testing and benchmarking); `false` (the default) runs the planned,
+    /// index-probing join. Both produce byte-identical event streams.
+    pub fn set_naive_join(&mut self, naive: bool) {
+        self.naive_join = naive;
+    }
+
+    /// True when the naive reference join is selected.
+    pub fn naive_join(&self) -> bool {
+        self.naive_join
     }
 
     /// Consumes the engine, returning its sink (e.g. a finished graph
@@ -289,18 +524,32 @@ impl<S: ProvenanceSink> Engine<S> {
     ///
     /// The sink starts fresh: provenance recorded before the checkpoint is
     /// not replayed into it (the caller pairs the snapshot with the graph
-    /// recorded up to that point).
+    /// recorded up to that point). Secondary indexes are rebuilt against
+    /// `program`'s index specs, so a snapshot taken under one program can
+    /// be resumed under another with different plans.
     pub fn restore(program: Arc<Program>, snap: EngineSnapshot, sink: S) -> Self {
+        let mut nodes = snap.nodes;
+        for state in nodes.values_mut() {
+            state.reindex(&program);
+        }
+        let live: u64 = nodes.values().map(|n| n.len() as u64).sum();
         Engine {
             program,
-            nodes: snap.nodes,
+            nodes,
             dependents: snap.dependents,
             queue: BinaryHeap::new(),
             clock: snap.clock,
             seq: snap.seq,
             sink,
-            stats: Stats::default(),
+            store: TupleStore::new(),
+            stats: Stats {
+                peak_tuples: live,
+                ..Stats::default()
+            },
+            live_tuples: live,
             rule_firings: BTreeMap::new(),
+            join_profile: BTreeMap::new(),
+            naive_join: false,
             max_events: 50_000_000,
         }
     }
@@ -323,6 +572,7 @@ impl<S: ProvenanceSink> Engine<S> {
     /// Schedules a base-tuple insertion not earlier than `due`.
     pub fn schedule_insert(&mut self, due: LogicalTime, node: NodeId, tuple: Tuple) -> Result<()> {
         self.check_base(&tuple)?;
+        let tuple = self.store.intern(tuple);
         self.push(due, Action::InsertBase(node, tuple));
         Ok(())
     }
@@ -330,6 +580,7 @@ impl<S: ProvenanceSink> Engine<S> {
     /// Schedules a base-tuple deletion not earlier than `due`.
     pub fn schedule_delete(&mut self, due: LogicalTime, node: NodeId, tuple: Tuple) -> Result<()> {
         self.check_base(&tuple)?;
+        let tuple = self.store.intern(tuple);
         self.push(due, Action::DeleteBase(node, tuple));
         Ok(())
     }
@@ -377,10 +628,20 @@ impl<S: ProvenanceSink> Engine<S> {
         Ok(self.stats)
     }
 
-    fn do_insert_base(&mut self, node: NodeId, tuple: Tuple) -> Result<()> {
+    fn note_appear(&mut self) {
+        self.live_tuples += 1;
+        self.stats.peak_tuples = self.stats.peak_tuples.max(self.live_tuples);
+    }
+
+    fn note_disappear(&mut self) {
+        self.live_tuples = self.live_tuples.saturating_sub(1);
+    }
+
+    fn do_insert_base(&mut self, node: NodeId, tuple: Arc<Tuple>) -> Result<()> {
         let now = self.clock;
+        let specs = self.program.index_specs_for(&tuple.table).cloned();
         let state = self.nodes.entry(node.clone()).or_default();
-        let entry = state.entry(&tuple);
+        let entry = state.entry(&tuple, specs.as_ref());
         if entry.base {
             return Ok(()); // idempotent re-insert
         }
@@ -393,26 +654,26 @@ impl<S: ProvenanceSink> Engine<S> {
         self.sink.record(ProvEvent::InsertBase {
             time: now,
             node: node.clone(),
-            tuple: tuple.clone(),
+            tuple: Arc::clone(&tuple),
         });
         if !was_present {
+            self.note_appear();
             self.sink.record(ProvEvent::Appear {
                 time: now,
                 node: node.clone(),
-                tuple: tuple.clone(),
+                tuple: Arc::clone(&tuple),
             });
             self.fire_triggers(now, &node, &tuple)?;
         }
         Ok(())
     }
 
-    fn do_delete_base(&mut self, node: NodeId, tuple: Tuple) -> Result<()> {
+    fn do_delete_base(&mut self, node: NodeId, tuple: Arc<Tuple>) -> Result<()> {
         let now = self.clock;
         let Some(state) = self.nodes.get_mut(&node) else {
             return Ok(());
         };
-        let Some(entry) = state.tables.get_mut(&tuple.table).and_then(|t| t.get_mut(&tuple))
-        else {
+        let Some(entry) = state.get_mut(&tuple) else {
             return Ok(());
         };
         if !entry.base {
@@ -424,14 +685,18 @@ impl<S: ProvenanceSink> Engine<S> {
         self.sink.record(ProvEvent::DeleteBase {
             time: now,
             node: node.clone(),
-            tuple: tuple.clone(),
+            tuple: Arc::clone(&tuple),
         });
         if gone {
-            state.remove(&tuple);
+            self.nodes
+                .get_mut(&node)
+                .expect("node state exists")
+                .remove(&tuple);
+            self.note_disappear();
             self.sink.record(ProvEvent::Disappear {
                 time: now,
                 node: node.clone(),
-                tuple: tuple.clone(),
+                tuple: Arc::clone(&tuple),
             });
             self.cascade(now, TupleRef::new(node, tuple))?;
         }
@@ -441,7 +706,7 @@ impl<S: ProvenanceSink> Engine<S> {
     fn do_insert_derived(
         &mut self,
         node: NodeId,
-        tuple: Tuple,
+        tuple: Arc<Tuple>,
         rule: Sym,
         body: Vec<TupleRef>,
         trigger: usize,
@@ -453,13 +718,14 @@ impl<S: ProvenanceSink> Engine<S> {
             let alive = self
                 .nodes
                 .get(&b.node)
-                .map_or(false, |n| n.contains(&b.tuple));
+                .is_some_and(|n| n.contains(&b.tuple));
             if !alive {
                 return Ok(());
             }
         }
+        let specs = self.program.index_specs_for(&tuple.table).cloned();
         let state = self.nodes.entry(node.clone()).or_default();
-        let entry = state.entry(&tuple);
+        let entry = state.entry(&tuple, specs.as_ref());
         let record = DerivRecord {
             rule: rule.clone(),
             body: body.clone(),
@@ -481,24 +747,28 @@ impl<S: ProvenanceSink> Engine<S> {
         }
         self.stats.derivations += 1;
         *self.rule_firings.entry(rule.clone()).or_insert(0) += 1;
-        let head_ref = TupleRef::new(node.clone(), tuple.clone());
+        let head_ref = TupleRef::new(node.clone(), Arc::clone(&tuple));
         for b in &body {
-            self.dependents.entry(b.clone()).or_default().push(head_ref.clone());
+            self.dependents
+                .entry(b.clone())
+                .or_default()
+                .push(head_ref.clone());
         }
         self.sink.record(ProvEvent::Derive {
             time: now,
             node: node.clone(),
-            tuple: tuple.clone(),
+            tuple: Arc::clone(&tuple),
             rule,
             body,
             trigger,
             redundant: was_present,
         });
         if !was_present {
+            self.note_appear();
             self.sink.record(ProvEvent::Appear {
                 time: now,
                 node: node.clone(),
-                tuple: tuple.clone(),
+                tuple: Arc::clone(&tuple),
             });
             self.fire_triggers(now, &node, &tuple)?;
         }
@@ -515,11 +785,7 @@ impl<S: ProvenanceSink> Engine<S> {
             let Some(state) = self.nodes.get_mut(&head.node) else {
                 continue;
             };
-            let Some(entry) = state
-                .tables
-                .get_mut(&head.tuple.table)
-                .and_then(|t| t.get_mut(&head.tuple))
-            else {
+            let Some(entry) = state.get_mut(&head.tuple) else {
                 continue;
             };
             let before = entry.derivations.len();
@@ -538,16 +804,25 @@ impl<S: ProvenanceSink> Engine<S> {
                 self.sink.record(ProvEvent::Underive {
                     time: now,
                     node: head.node.clone(),
-                    tuple: head.tuple.clone(),
+                    tuple: Arc::clone(&head.tuple),
                     rule: d.rule.clone(),
                 });
             }
-            if entry.support() == 0 {
-                state.remove(&head.tuple);
+            let support = self
+                .nodes
+                .get(&head.node)
+                .and_then(|s| s.get(&head.tuple))
+                .map_or(0, |e| e.support());
+            if support == 0 {
+                self.nodes
+                    .get_mut(&head.node)
+                    .expect("node state exists")
+                    .remove(&head.tuple);
+                self.note_disappear();
                 self.sink.record(ProvEvent::Disappear {
                     time: now,
                     node: head.node.clone(),
-                    tuple: head.tuple.clone(),
+                    tuple: Arc::clone(&head.tuple),
                 });
                 self.cascade(now, head)?;
             }
@@ -557,20 +832,19 @@ impl<S: ProvenanceSink> Engine<S> {
 
     /// Fires all declarative and native rules triggered by `tuple`
     /// appearing at `node`.
-    fn fire_triggers(&mut self, now: LogicalTime, node: &NodeId, tuple: &Tuple) -> Result<()> {
+    fn fire_triggers(&mut self, now: LogicalTime, node: &NodeId, tuple: &Arc<Tuple>) -> Result<()> {
         // Declarative rules.
-        let triggers: Vec<(usize, usize)> =
-            self.program.rule_triggers(&tuple.table).to_vec();
+        let triggers: Vec<(usize, usize)> = self.program.rule_triggers(&tuple.table).to_vec();
         let program = Arc::clone(&self.program);
         for (ri, ai) in triggers {
             let rule = program.rule_at(ri);
             if rule.agg.is_some() {
                 // Aggregation rules fire only on their fence (atom 0).
                 if ai == 0 {
-                    self.fire_agg_rule(now, node, tuple, rule)?;
+                    self.fire_agg_rule(now, node, tuple, rule, ri)?;
                 }
             } else {
-                self.fire_rule(now, node, tuple, rule, ai)?;
+                self.fire_rule(now, node, tuple, rule, ri, ai)?;
             }
         }
         // Native rules.
@@ -585,11 +859,12 @@ impl<S: ProvenanceSink> Engine<S> {
             }
             for em in emitter.emissions {
                 self.program.schemas.check(&em.tuple)?;
+                let head = self.store.intern(em.tuple);
                 self.push(
                     now + em.delay,
                     Action::InsertDerived {
                         node: em.node,
-                        tuple: em.tuple,
+                        tuple: head,
                         rule: native.name(),
                         body: em.body,
                         trigger: 0,
@@ -600,43 +875,94 @@ impl<S: ProvenanceSink> Engine<S> {
         Ok(())
     }
 
+    /// Matches `tuple` against body atom `idx` of `rule`, returning the
+    /// initial environment (location + trigger bindings) on success.
+    fn match_trigger(node: &NodeId, tuple: &Tuple, rule: &Rule, idx: usize) -> Option<Env> {
+        let atom = &rule.body[idx];
+        if atom.args.len() != tuple.arity() {
+            return None;
+        }
+        let mut env = Env::new();
+        env.insert(atom.loc.clone(), Value::Str(node.0.clone()));
+        for (pat, val) in atom.args.iter().zip(&tuple.args) {
+            if !pat.matches(val, &mut env) {
+                return None;
+            }
+        }
+        Some(env)
+    }
+
+    /// Runs the join for `(rule, trigger)` from `env`, returning complete
+    /// matches in the naive nested-loop enumeration order (see module
+    /// docs), and records the join counters against the rule.
+    fn collect_matches(
+        &mut self,
+        node: &NodeId,
+        tuple: &Arc<Tuple>,
+        rule: &Rule,
+        ri: usize,
+        trigger_idx: usize,
+        mut env: Env,
+    ) -> Vec<(Env, Vec<Arc<Tuple>>)> {
+        let Some(state) = self.nodes.get(node) else {
+            return Vec::new();
+        };
+        let plan = if self.naive_join {
+            self.program.naive_join_plan(ri, trigger_idx)
+        } else {
+            self.program.join_plan(ri, trigger_idx)
+        };
+        let mut matches: Vec<(Env, Vec<Arc<Tuple>>)> = Vec::new();
+        let mut partial: Vec<Option<Arc<Tuple>>> = vec![None; rule.body.len()];
+        partial[trigger_idx] = Some(Arc::clone(tuple));
+        let mut trail: Vec<Sym> = Vec::new();
+        let mut counters = JoinCounters::default();
+        join_with_plan(
+            state,
+            rule,
+            plan,
+            0,
+            &mut env,
+            &mut trail,
+            &mut partial,
+            &mut matches,
+            &mut counters,
+        );
+        if !self.naive_join {
+            // Index probing discovers matches in plan order; restore the
+            // naive enumeration order (lexicographic by body vector — the
+            // trigger slot is constant, so this compares the remaining
+            // atoms in body order exactly as the nested loop emits them).
+            matches.sort_by(|a, b| a.1.cmp(&b.1));
+        }
+        self.stats.join_probes += counters.probes;
+        self.stats.join_scans += counters.scans;
+        self.stats.join_candidates += counters.candidates;
+        self.stats.join_matches += counters.matches;
+        let profile = self.join_profile.entry(rule.name.clone()).or_default();
+        profile.attempts += 1;
+        profile.probes += counters.probes;
+        profile.scans += counters.scans;
+        profile.candidates += counters.candidates;
+        profile.matches += counters.matches;
+        matches
+    }
+
     /// Attempts to fire `rule` with `tuple` matched at body position
     /// `trigger_idx`, joining the remaining atoms against current state.
     fn fire_rule(
         &mut self,
         now: LogicalTime,
         node: &NodeId,
-        tuple: &Tuple,
+        tuple: &Arc<Tuple>,
         rule: &Rule,
+        ri: usize,
         trigger_idx: usize,
     ) -> Result<()> {
-        let atom = &rule.body[trigger_idx];
-        if atom.args.len() != tuple.arity() {
+        let Some(env) = Self::match_trigger(node, tuple, rule, trigger_idx) else {
             return Ok(());
-        }
-        let mut env = Env::new();
-        // Bind the location variable to this node.
-        env.insert(atom.loc.clone(), Value::Str(node.0.clone()));
-        let mut ok = true;
-        for (pat, val) in atom.args.iter().zip(&tuple.args) {
-            if !pat.matches(val, &mut env) {
-                ok = false;
-                break;
-            }
-        }
-        if !ok {
-            return Ok(());
-        }
-
-        // Join the remaining atoms, depth-first, deterministically.
-        let state = match self.nodes.get(node) {
-            Some(s) => s,
-            None => return Ok(()),
         };
-        let mut matches: Vec<(Env, Vec<Tuple>)> = Vec::new();
-        let mut partial: Vec<Tuple> = vec![Tuple::new("", vec![]); rule.body.len()];
-        partial[trigger_idx] = tuple.clone();
-        join_rest(state, rule, trigger_idx, 0, env, &mut partial, &mut matches);
+        let matches = self.collect_matches(node, tuple, rule, ri, trigger_idx, env);
 
         for (mut env, body_tuples) in matches {
             if let Err(e) = rule.run_assigns(&mut env) {
@@ -693,6 +1019,7 @@ impl<S: ProvenanceSink> Engine<S> {
             }
             let head = Tuple::new(rule.head.table.clone(), head_args);
             self.program.schemas.check(&head)?;
+            let head = self.store.intern(head);
             let body: Vec<TupleRef> = body_tuples
                 .into_iter()
                 .map(|t| TupleRef::new(node.clone(), t))
@@ -723,32 +1050,17 @@ impl<S: ProvenanceSink> Engine<S> {
         &mut self,
         now: LogicalTime,
         node: &NodeId,
-        tuple: &Tuple,
+        tuple: &Arc<Tuple>,
         rule: &Rule,
+        ri: usize,
     ) -> Result<()> {
         let spec = rule.agg.clone().expect("caller checked");
-        let fence_atom = &rule.body[0];
-        if fence_atom.args.len() != tuple.arity() {
+        let Some(env) = Self::match_trigger(node, tuple, rule, 0) else {
             return Ok(());
-        }
-        let mut env = Env::new();
-        env.insert(fence_atom.loc.clone(), Value::Str(node.0.clone()));
-        for (pat, val) in fence_atom.args.iter().zip(&tuple.args) {
-            if !pat.matches(val, &mut env) {
-                return Ok(());
-            }
-        }
-        let state = match self.nodes.get(node) {
-            Some(s) => s,
-            None => return Ok(()),
         };
-        let mut matches: Vec<(Env, Vec<Tuple>)> = Vec::new();
-        let mut partial: Vec<Tuple> = vec![Tuple::new("", vec![]); rule.body.len()];
-        partial[0] = tuple.clone();
-        join_rest(state, rule, 0, 1, env, &mut partial, &mut matches);
+        let matches = self.collect_matches(node, tuple, rule, ri, 0, env);
 
         // Group the bindings. Key: head location + non-aggregate head args.
-        use std::collections::BTreeMap;
         type Group = (Vec<Value>, Option<i64>, Vec<TupleRef>);
         let mut groups: BTreeMap<(Value, Vec<Value>), Group> = BTreeMap::new();
         'bindings: for (mut env, body_tuples) in matches {
@@ -799,12 +1111,16 @@ impl<S: ProvenanceSink> Engine<S> {
                 .as_int()?;
             let mut key_args = head_args.clone();
             key_args.remove(spec.head_index);
-            let entry = groups
-                .entry((loc, key_args))
-                .or_insert_with(|| (head_args.clone(), None, vec![TupleRef::new(node.clone(), tuple.clone())]));
+            let entry = groups.entry((loc, key_args)).or_insert_with(|| {
+                (
+                    head_args.clone(),
+                    None,
+                    vec![TupleRef::new(node.clone(), Arc::clone(tuple))],
+                )
+            });
             entry.1 = Some(spec.func.fold(entry.1, agg_input));
             for bt in body_tuples.iter().skip(1) {
-                let r = TupleRef::new(node.clone(), bt.clone());
+                let r = TupleRef::new(node.clone(), Arc::clone(bt));
                 if !entry.2.contains(&r) {
                     entry.2.push(r);
                 }
@@ -816,6 +1132,7 @@ impl<S: ProvenanceSink> Engine<S> {
             let head_node = NodeId(loc.as_str()?.clone());
             let head = Tuple::new(rule.head.table.clone(), head_args);
             self.program.schemas.check(&head)?;
+            let head = self.store.intern(head);
             let delay = if head_node == *node { 0 } else { rule.link_delay };
             self.push(
                 now + delay,
@@ -832,38 +1149,125 @@ impl<S: ProvenanceSink> Engine<S> {
     }
 }
 
-/// Depth-first join of the body atoms other than the trigger.
-fn join_rest(
+/// Removes the bindings made since `start` (their names sit on the trail).
+fn undo(env: &mut Env, trail: &mut Vec<Sym>, start: usize) {
+    for sym in trail.drain(start..) {
+        env.remove(&sym);
+    }
+}
+
+/// Matches `candidate` against `atom` under `env`, binding new variables
+/// and pushing their names onto `trail`. On mismatch the partial bindings
+/// are rolled back and `false` is returned.
+fn match_atom(atom: &BodyAtom, candidate: &Tuple, env: &mut Env, trail: &mut Vec<Sym>) -> bool {
+    if candidate.arity() != atom.args.len() {
+        return false;
+    }
+    let start = trail.len();
+    for (pat, val) in atom.args.iter().zip(&candidate.args) {
+        let ok = match pat {
+            Pattern::Wildcard => true,
+            Pattern::Const(c) => c == val,
+            Pattern::Var(v) => match env.get(v) {
+                Some(bound) => bound == val,
+                None => {
+                    env.insert(v.clone(), val.clone());
+                    trail.push(v.clone());
+                    true
+                }
+            },
+        };
+        if !ok {
+            undo(env, trail, start);
+            return false;
+        }
+    }
+    true
+}
+
+/// Depth-first join following `plan`, with scoped bind/undo instead of an
+/// environment clone per candidate. Matches are pushed in plan-enumeration
+/// order; the caller re-sorts into the canonical order if the plan deviates
+/// from body order.
+#[allow(clippy::too_many_arguments)]
+fn join_with_plan(
     state: &NodeState,
     rule: &Rule,
-    trigger_idx: usize,
-    atom_idx: usize,
-    env: Env,
-    partial: &mut Vec<Tuple>,
-    out: &mut Vec<(Env, Vec<Tuple>)>,
+    plan: &JoinPlan,
+    step_idx: usize,
+    env: &mut Env,
+    trail: &mut Vec<Sym>,
+    partial: &mut Vec<Option<Arc<Tuple>>>,
+    out: &mut Vec<(Env, Vec<Arc<Tuple>>)>,
+    counters: &mut JoinCounters,
 ) {
-    if atom_idx == rule.body.len() {
-        out.push((env, partial.clone()));
-        return;
-    }
-    if atom_idx == trigger_idx {
-        join_rest(state, rule, trigger_idx, atom_idx + 1, env, partial, out);
-        return;
-    }
-    let atom = &rule.body[atom_idx];
-    for (candidate, _) in state.table(&atom.table) {
-        if candidate.arity() != atom.args.len() {
-            continue;
-        }
-        let mut env2 = env.clone();
-        if atom
-            .args
+    if step_idx == plan.steps.len() {
+        counters.matches += 1;
+        let body: Vec<Arc<Tuple>> = partial
             .iter()
-            .zip(&candidate.args)
-            .all(|(p, v)| p.matches(v, &mut env2))
-        {
-            partial[atom_idx] = candidate.clone();
-            join_rest(state, rule, trigger_idx, atom_idx + 1, env2, partial, out);
+            .map(|slot| Arc::clone(slot.as_ref().expect("all body slots filled")))
+            .collect();
+        out.push((env.clone(), body));
+        return;
+    }
+    let step = &plan.steps[step_idx];
+    let atom = &rule.body[step.atom];
+    let index_slot = step.index_slot.filter(|_| !step.key_cols.is_empty());
+    if let Some(slot) = index_slot {
+        let mut key = Vec::with_capacity(step.key_cols.len());
+        for &c in &step.key_cols {
+            match &atom.args[c] {
+                Pattern::Const(v) => key.push(v.clone()),
+                Pattern::Var(v) => key.push(
+                    env.get(v)
+                        .expect("planner guarantees key variables are bound")
+                        .clone(),
+                ),
+                Pattern::Wildcard => unreachable!("wildcards are never key columns"),
+            }
+        }
+        counters.probes += 1;
+        for candidate in state.probe(&atom.table, slot, &key) {
+            counters.candidates += 1;
+            let start = trail.len();
+            if match_atom(atom, candidate, env, trail) {
+                partial[step.atom] = Some(Arc::clone(candidate));
+                join_with_plan(
+                    state,
+                    rule,
+                    plan,
+                    step_idx + 1,
+                    env,
+                    trail,
+                    partial,
+                    out,
+                    counters,
+                );
+                partial[step.atom] = None;
+                undo(env, trail, start);
+            }
+        }
+    } else {
+        counters.scans += 1;
+        for candidate in state.table_arcs(&atom.table) {
+            counters.candidates += 1;
+            let start = trail.len();
+            if match_atom(atom, candidate, env, trail) {
+                partial[step.atom] = Some(Arc::clone(candidate));
+                join_with_plan(
+                    state,
+                    rule,
+                    plan,
+                    step_idx + 1,
+                    env,
+                    trail,
+                    partial,
+                    out,
+                    counters,
+                );
+                partial[step.atom] = None;
+                undo(env, trail, start);
+            }
         }
     }
 }
@@ -957,8 +1361,8 @@ mod tests {
         eng.run().unwrap();
         assert!(eng.lookup(&n, &tuple!("c", 1, 4, 4)).is_none());
         let events = &eng.sink.events;
-        assert!(events.iter().any(|e| matches!(e, ProvEvent::Underive { tuple, .. } if *tuple == tuple!("c", 1, 4, 4))));
-        assert!(events.iter().any(|e| matches!(e, ProvEvent::Disappear { tuple, .. } if *tuple == tuple!("c", 1, 4, 4))));
+        assert!(events.iter().any(|e| matches!(e, ProvEvent::Underive { tuple, .. } if **tuple == tuple!("c", 1, 4, 4))));
+        assert!(events.iter().any(|e| matches!(e, ProvEvent::Disappear { tuple, .. } if **tuple == tuple!("c", 1, 4, 4))));
     }
 
     #[test]
@@ -997,6 +1401,74 @@ mod tests {
             eng.into_sink().events
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn indexed_and_naive_joins_emit_identical_streams() {
+        let run = |naive: bool| {
+            let mut eng = Engine::new(fig4_program(), VecSink::default());
+            eng.set_naive_join(naive);
+            let n = NodeId::new("n1");
+            for i in 0..30 {
+                eng.schedule_insert(0, n.clone(), tuple!("a", i % 5, i % 3)).unwrap();
+                eng.schedule_insert(0, n.clone(), tuple!("b", i % 5, i % 3, i)).unwrap();
+            }
+            for i in 0..10 {
+                eng.schedule_delete(100, n.clone(), tuple!("b", i % 5, i % 3, i)).unwrap();
+            }
+            eng.run().unwrap();
+            eng.into_sink().events
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn indexed_join_probes_instead_of_scanning() {
+        let mut eng = Engine::new(fig4_program(), VecSink::default());
+        let n = NodeId::new("n1");
+        for i in 0..10 {
+            eng.schedule_insert(0, n.clone(), tuple!("a", i, i)).unwrap();
+            eng.schedule_insert(0, n.clone(), tuple!("b", i, i, i)).unwrap();
+        }
+        eng.run().unwrap();
+        let stats = eng.stats();
+        assert!(stats.join_probes > 0, "no probes: {stats:?}");
+        assert_eq!(stats.join_scans, 0, "unexpected scans: {stats:?}");
+        assert!(stats.index_hit_rate() > 0.99);
+        let profile = eng.join_profile().get(&Sym::new("rc")).copied().unwrap();
+        assert_eq!(profile.attempts, 20);
+        // Indexed probing examines only matching candidates: each probe
+        // yields at most one candidate here.
+        assert!(profile.candidates <= profile.probes);
+    }
+
+    #[test]
+    fn naive_join_scans_full_tables() {
+        let mut eng = Engine::new(fig4_program(), VecSink::default());
+        eng.set_naive_join(true);
+        let n = NodeId::new("n1");
+        for i in 0..10 {
+            eng.schedule_insert(0, n.clone(), tuple!("a", i, i)).unwrap();
+            eng.schedule_insert(0, n.clone(), tuple!("b", i, i, i)).unwrap();
+        }
+        eng.run().unwrap();
+        let stats = eng.stats();
+        assert_eq!(stats.join_probes, 0);
+        assert!(stats.join_scans > 0);
+        assert!(stats.join_candidates > stats.join_matches);
+    }
+
+    #[test]
+    fn peak_tuples_tracks_high_water_mark() {
+        let mut eng = Engine::new(fig4_program(), VecSink::default());
+        let n = NodeId::new("n1");
+        eng.schedule_insert(0, n.clone(), tuple!("a", 1, 2)).unwrap();
+        eng.schedule_insert(0, n.clone(), tuple!("b", 1, 2, 3)).unwrap();
+        eng.run().unwrap();
+        assert_eq!(eng.stats().peak_tuples, 3); // a, b, c
+        eng.schedule_delete(100, n.clone(), tuple!("b", 1, 2, 3)).unwrap();
+        eng.run().unwrap();
+        assert_eq!(eng.stats().peak_tuples, 3); // peak unchanged after delete
     }
 
     #[test]
@@ -1124,5 +1596,26 @@ mod tests {
         eng.schedule_delete(200, n.clone(), tuple!("b", 1, 0, 1)).unwrap();
         eng.run().unwrap();
         assert!(eng.lookup(&n, &tuple!("d", 1)).is_none());
+    }
+
+    #[test]
+    fn indexes_survive_snapshot_restore() {
+        let mut eng = Engine::new(fig4_program(), VecSink::default());
+        let n = NodeId::new("n1");
+        for i in 0..5 {
+            eng.schedule_insert(0, n.clone(), tuple!("a", i, i)).unwrap();
+        }
+        eng.run().unwrap();
+        let snap = eng.snapshot();
+        let mut eng2 = Engine::restore(fig4_program(), snap, VecSink::default());
+        for i in 0..5 {
+            eng2.schedule_insert(1000, n.clone(), tuple!("b", i, i, i)).unwrap();
+        }
+        eng2.run().unwrap();
+        for i in 0..5i64 {
+            assert!(eng2.lookup(&n, &tuple!("c", i, i * i, i + 1)).is_some());
+        }
+        // The restored engine's joins still probe indexes.
+        assert!(eng2.stats().join_probes > 0);
     }
 }

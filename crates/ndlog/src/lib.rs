@@ -26,13 +26,17 @@ pub mod ast;
 pub mod engine;
 pub mod expr;
 pub mod parser;
+pub mod plan;
 pub mod program;
 pub mod sink;
 
 pub use ast::{AggFunc, AggSpec, Assign, BodyAtom, Constraint, HeadAtom, Pattern, Rule};
-pub use engine::{DerivRecord, Engine, EngineSnapshot, NodeState, NodeView, Stats, TupleState};
+pub use engine::{
+    DerivRecord, Engine, EngineSnapshot, NodeState, NodeView, RuleJoinProfile, Stats, TupleState,
+};
 pub use expr::{BinOp, Env, Expr, Func};
 pub use parser::{parse_expr, parse_rule, parse_rules};
+pub use plan::{JoinPlan, JoinStep, PlanSet};
 pub use program::{
     Emission, Emitter, NativeRule, Program, ProgramBuilder, StatefulBuiltin, TupleChange,
 };

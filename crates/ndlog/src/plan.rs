@@ -1,0 +1,318 @@
+//! Build-time join planning.
+//!
+//! For every `(rule, trigger atom)` pair the planner decides, once at
+//! [`crate::Program`] build time, how the remaining body atoms are joined
+//! when that atom triggers the rule:
+//!
+//! * **Atom order** — a greedy most-bound-first ordering: starting from the
+//!   variables bound by the trigger atom, repeatedly pick the atom with the
+//!   most bound columns (ties broken by body position, keeping plans
+//!   deterministic). Joining the most-constrained atom first shrinks the
+//!   intermediate result early, the classic bound-becomes-free heuristic of
+//!   Datalog sideways information passing.
+//! * **Access path** — for each planned step, the columns that are bound at
+//!   probe time (constants, or variables bound by earlier steps) form the
+//!   key of a secondary hash index on that table. The planner registers the
+//!   needed `(table, columns)` index specs so [`crate::engine::NodeState`]
+//!   can maintain them incrementally; a step with no bound columns falls
+//!   back to a full ordered scan.
+//!
+//! Reordering joins does not endanger determinism: the engine sorts the
+//! collected matches back into the naive nested-loop enumeration order
+//! before acting on them (see `crate::engine` — the naive order is exactly
+//! the lexicographic order of the body-tuple vector, which is independent
+//! of the order in which matches were discovered).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use dp_types::Sym;
+
+use crate::ast::{Pattern, Rule};
+
+/// One step of a join plan: which body atom to join next, and through which
+/// access path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinStep {
+    /// Index of the body atom this step joins.
+    pub atom: usize,
+    /// Argument positions bound at probe time (ascending). Constants and
+    /// variables bound by the trigger or an earlier step qualify.
+    pub key_cols: Vec<usize>,
+    /// Position of the `key_cols` index in the table's registered index
+    /// list ([`IndexSpecs`]), or `None` when the step is a full scan.
+    pub index_slot: Option<usize>,
+}
+
+/// The join order (and access paths) for one `(rule, trigger atom)` pair.
+/// The trigger atom itself is not part of the plan — its tuple is fixed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JoinPlan {
+    /// The steps, in execution order.
+    pub steps: Vec<JoinStep>,
+}
+
+/// The secondary-index column sets required per table, shared between the
+/// program (which computed them) and every node table (which maintains
+/// them).
+pub type IndexSpecs = Arc<Vec<Vec<usize>>>;
+
+/// Accumulates index requirements across all rules of a program.
+#[derive(Debug, Default)]
+pub struct IndexRegistry {
+    wanted: BTreeMap<Sym, BTreeSet<Vec<usize>>>,
+}
+
+impl IndexRegistry {
+    /// Registers a `(table, columns)` requirement, returning nothing; slots
+    /// are assigned by [`IndexRegistry::freeze`].
+    fn want(&mut self, table: &Sym, cols: &[usize]) {
+        self.wanted
+            .entry(table.clone())
+            .or_default()
+            .insert(cols.to_vec());
+    }
+
+    /// Freezes the registry into per-table spec lists (sorted, so slot
+    /// numbering is deterministic) and returns a lookup for slot
+    /// resolution.
+    fn freeze(self) -> BTreeMap<Sym, IndexSpecs> {
+        self.wanted
+            .into_iter()
+            .map(|(t, set)| (t, Arc::new(set.into_iter().collect::<Vec<_>>())))
+            .collect()
+    }
+}
+
+/// The argument variables bound by matching `atom` against a concrete
+/// tuple. The location variable is *not* included: the engine binds it only
+/// for the trigger atom (localized rules share one location variable, so
+/// for well-formed programs it is already bound).
+fn atom_vars(rule: &Rule, atom: usize, into: &mut BTreeSet<Sym>) {
+    for p in &rule.body[atom].args {
+        if let Pattern::Var(v) = p {
+            into.insert(v.clone());
+        }
+    }
+}
+
+/// The argument positions of `atom` that are bound given `bound` variables:
+/// constants always, variables iff already bound.
+fn bound_cols(rule: &Rule, atom: usize, bound: &BTreeSet<Sym>) -> Vec<usize> {
+    rule.body[atom]
+        .args
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| match p {
+            Pattern::Const(_) => true,
+            Pattern::Var(v) => bound.contains(v),
+            Pattern::Wildcard => false,
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Plans the join for `rule` when triggered at body atom `trigger`,
+/// registering the index specs it needs.
+fn plan_one(rule: &Rule, trigger: usize, registry: &mut IndexRegistry) -> JoinPlan {
+    let mut bound: BTreeSet<Sym> = BTreeSet::new();
+    bound.insert(rule.body[trigger].loc.clone());
+    atom_vars(rule, trigger, &mut bound);
+    let mut remaining: Vec<usize> = (0..rule.body.len()).filter(|&i| i != trigger).collect();
+    let mut steps = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        // Greedy: most bound columns first; ties by body position.
+        let (pos, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &atom)| (pos, bound_cols(rule, atom, &bound).len()))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .expect("remaining is non-empty");
+        let atom = remaining.remove(pos);
+        let key_cols = bound_cols(rule, atom, &bound);
+        if !key_cols.is_empty() {
+            registry.want(&rule.body[atom].table, &key_cols);
+        }
+        steps.push(JoinStep {
+            atom,
+            key_cols,
+            index_slot: None, // resolved after freezing the registry
+        });
+        atom_vars(rule, atom, &mut bound);
+    }
+    JoinPlan { steps }
+}
+
+/// A naive reference plan: body order, full scans. This reproduces the
+/// original nested-loop evaluator exactly and is kept as the differential-
+/// testing and benchmarking baseline.
+fn plan_naive(rule: &Rule, trigger: usize) -> JoinPlan {
+    JoinPlan {
+        steps: (0..rule.body.len())
+            .filter(|&i| i != trigger)
+            .map(|atom| JoinStep {
+                atom,
+                key_cols: Vec::new(),
+                index_slot: None,
+            })
+            .collect(),
+    }
+}
+
+/// All join plans of a program, plus the index specs they rely on.
+#[derive(Clone, Debug, Default)]
+pub struct PlanSet {
+    /// Indexed plans, keyed by `(rule index, trigger atom index)`.
+    plans: BTreeMap<(usize, usize), JoinPlan>,
+    /// Reference plans (body order, full scans), same keys.
+    naive: BTreeMap<(usize, usize), JoinPlan>,
+    /// Per-table index column sets, slot-ordered.
+    specs: BTreeMap<Sym, IndexSpecs>,
+}
+
+impl PlanSet {
+    /// Plans every `(rule, trigger)` pair of `rules`. For aggregation rules
+    /// only the fence (atom 0) can trigger, so only that pair is planned.
+    pub fn build(rules: &[Rule]) -> PlanSet {
+        let mut registry = IndexRegistry::default();
+        let mut plans = BTreeMap::new();
+        let mut naive = BTreeMap::new();
+        for (ri, rule) in rules.iter().enumerate() {
+            let triggers: Vec<usize> = if rule.agg.is_some() {
+                vec![0]
+            } else {
+                (0..rule.body.len()).collect()
+            };
+            for t in triggers {
+                plans.insert((ri, t), plan_one(rule, t, &mut registry));
+                naive.insert((ri, t), plan_naive(rule, t));
+            }
+        }
+        let specs = registry.freeze();
+        // Resolve each step's index slot against the frozen spec lists.
+        for ((ri, _), plan) in plans.iter_mut() {
+            for step in &mut plan.steps {
+                if step.key_cols.is_empty() {
+                    continue;
+                }
+                let table = &rules[*ri].body[step.atom].table;
+                step.index_slot = specs[table].iter().position(|c| c == &step.key_cols);
+                debug_assert!(step.index_slot.is_some(), "registered spec must resolve");
+            }
+        }
+        PlanSet {
+            plans,
+            naive,
+            specs,
+        }
+    }
+
+    /// The indexed plan for `(rule, trigger)`.
+    pub fn plan(&self, rule: usize, trigger: usize) -> &JoinPlan {
+        &self.plans[&(rule, trigger)]
+    }
+
+    /// The naive reference plan for `(rule, trigger)`.
+    pub fn naive_plan(&self, rule: usize, trigger: usize) -> &JoinPlan {
+        &self.naive[&(rule, trigger)]
+    }
+
+    /// The index column sets registered for `table` (empty if none).
+    pub fn specs_for(&self, table: &Sym) -> Option<&IndexSpecs> {
+        self.specs.get(table)
+    }
+
+    /// All per-table index specs, for diagnostics.
+    pub fn all_specs(&self) -> &BTreeMap<Sym, IndexSpecs> {
+        &self.specs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rules;
+
+    fn rules(src: &str) -> Vec<Rule> {
+        parse_rules(src).unwrap()
+    }
+
+    #[test]
+    fn trigger_binds_join_columns() {
+        // c(@N,X,Y,Z) :- a(@N,X,Y), b(@N,X,Z): triggering on a binds X,
+        // so b should be probed through an index on its first column.
+        let rs = rules("rc c(@N, X, Y, Z) :- a(@N, X, Y), b(@N, X, Z).");
+        let set = PlanSet::build(&rs);
+        let plan = set.plan(0, 0);
+        assert_eq!(plan.steps.len(), 1);
+        assert_eq!(plan.steps[0].atom, 1);
+        assert_eq!(plan.steps[0].key_cols, vec![0]);
+        assert!(plan.steps[0].index_slot.is_some());
+        // Triggering on b binds X as well: a probed on column 0.
+        let plan = set.plan(0, 1);
+        assert_eq!(plan.steps[0].atom, 0);
+        assert_eq!(plan.steps[0].key_cols, vec![0]);
+    }
+
+    #[test]
+    fn constants_count_as_bound() {
+        let rs = rules("rc c(@N, X) :- a(@N, X), b(@N, X, 7).");
+        let set = PlanSet::build(&rs);
+        let plan = set.plan(0, 0);
+        // b is probed on (X, const 7): both columns bound.
+        assert_eq!(plan.steps[0].key_cols, vec![0, 1]);
+    }
+
+    #[test]
+    fn most_bound_atom_goes_first() {
+        // Triggering on a binds X only. b(@N,X,Y) has 1 bound column;
+        // d(@N,X,X) has 2. d must be joined first even though it appears
+        // later in the body.
+        let rs = rules("rc c(@N, X, Y) :- a(@N, X), b(@N, X, Y), d(@N, X, X).");
+        let set = PlanSet::build(&rs);
+        let plan = set.plan(0, 0);
+        assert_eq!(plan.steps[0].atom, 2);
+        assert_eq!(plan.steps[0].key_cols, vec![0, 1]);
+        assert_eq!(plan.steps[1].atom, 1);
+        assert_eq!(plan.steps[1].key_cols, vec![0]);
+    }
+
+    #[test]
+    fn unbound_step_falls_back_to_scan() {
+        // No shared variables: the second atom has no bound columns.
+        let rs = rules("rc c(@N, X, Y) :- a(@N, X), b(@N, Y).");
+        let set = PlanSet::build(&rs);
+        let plan = set.plan(0, 0);
+        assert!(plan.steps[0].key_cols.is_empty());
+        assert!(plan.steps[0].index_slot.is_none());
+    }
+
+    #[test]
+    fn specs_are_deduped_across_rules() {
+        let rs = rules(
+            "r1 c(@N, X, Y) :- a(@N, X), b(@N, X, Y).\n\
+             r2 d(@N, X, Y) :- e(@N, X), b(@N, X, Y).",
+        );
+        let set = PlanSet::build(&rs);
+        let specs = set.specs_for(&Sym::new("b")).unwrap();
+        assert_eq!(specs.as_slice(), &[vec![0]]);
+    }
+
+    #[test]
+    fn naive_plan_preserves_body_order() {
+        let rs = rules("rc c(@N, X, Y) :- a(@N, X), b(@N, X, Y), d(@N, X, X).");
+        let set = PlanSet::build(&rs);
+        let plan = set.naive_plan(0, 1);
+        let atoms: Vec<usize> = plan.steps.iter().map(|s| s.atom).collect();
+        assert_eq!(atoms, vec![0, 2]);
+        assert!(plan.steps.iter().all(|s| s.index_slot.is_none()));
+    }
+
+    #[test]
+    fn agg_rules_plan_only_the_fence_trigger() {
+        let rs = rules("rq q(@N, agg_count(X)) :- f(@N), a(@N, X).");
+        let set = PlanSet::build(&rs);
+        assert!(set.plans.contains_key(&(0, 0)));
+        assert!(!set.plans.contains_key(&(0, 1)));
+    }
+}

@@ -9,6 +9,7 @@ use dp_types::{Error, NodeId, Result, SchemaRegistry, Sym, Tuple, TupleRef, Valu
 use crate::ast::Rule;
 use crate::engine::NodeView;
 use crate::parser::parse_rules;
+use crate::plan::{IndexSpecs, JoinPlan, PlanSet};
 
 /// A proposed change to a single base tuple — the elements of the paper's
 /// `Δ_{B→G}` (Definition 1).
@@ -137,6 +138,8 @@ pub struct Program {
     rule_triggers: BTreeMap<Sym, Vec<(usize, usize)>>,
     /// table -> native indexes triggered by it.
     native_triggers: BTreeMap<Sym, Vec<usize>>,
+    /// Build-time join plans and the index specs they require.
+    plans: PlanSet,
 }
 
 impl fmt::Debug for Program {
@@ -200,6 +203,27 @@ impl Program {
     /// Native rule by index.
     pub fn native_at(&self, idx: usize) -> &Arc<dyn NativeRule> {
         &self.natives[idx]
+    }
+
+    /// The planned (index-probing) join order for `(rule, trigger atom)`.
+    pub fn join_plan(&self, rule: usize, trigger: usize) -> &JoinPlan {
+        self.plans.plan(rule, trigger)
+    }
+
+    /// The naive body-order join plan for `(rule, trigger atom)` — the
+    /// nested-loop reference evaluator.
+    pub fn naive_join_plan(&self, rule: usize, trigger: usize) -> &JoinPlan {
+        self.plans.naive_plan(rule, trigger)
+    }
+
+    /// The index key specs registered for `table`, if any rule probes it.
+    pub fn index_specs_for(&self, table: &Sym) -> Option<&IndexSpecs> {
+        self.plans.specs_for(table)
+    }
+
+    /// All registered index specs, by table (diagnostics).
+    pub fn all_index_specs(&self) -> impl Iterator<Item = (&Sym, &IndexSpecs)> {
+        self.plans.all_specs().iter()
     }
 }
 
@@ -295,6 +319,7 @@ impl ProgramBuilder {
                 native_triggers.entry(t).or_default().push(ni);
             }
         }
+        let plans = PlanSet::build(&self.rules);
         Ok(Arc::new(Program {
             schemas: self.schemas,
             rules: self.rules,
@@ -302,6 +327,7 @@ impl ProgramBuilder {
             builtins: self.builtins,
             rule_triggers,
             native_triggers,
+            plans,
         }))
     }
 }

@@ -8,6 +8,8 @@
 //! specification mode replays observations through a specification program,
 //! producing the same event stream.
 
+use std::sync::Arc;
+
 use dp_types::{LogicalTime, NodeId, Sym, Tuple, TupleRef};
 
 /// One provenance-relevant occurrence inside the engine.
@@ -26,7 +28,7 @@ pub enum ProvEvent {
         /// Node where the tuple lives.
         node: NodeId,
         /// The tuple.
-        tuple: Tuple,
+        tuple: Arc<Tuple>,
     },
     /// A base tuple was deleted.
     DeleteBase {
@@ -35,7 +37,7 @@ pub enum ProvEvent {
         /// Node where the tuple lived.
         node: NodeId,
         /// The tuple.
-        tuple: Tuple,
+        tuple: Arc<Tuple>,
     },
     /// A rule derived a tuple.
     Derive {
@@ -44,7 +46,7 @@ pub enum ProvEvent {
         /// Node where the derived tuple lives.
         node: NodeId,
         /// The derived tuple.
-        tuple: Tuple,
+        tuple: Arc<Tuple>,
         /// The rule that fired.
         rule: Sym,
         /// The body tuples used, in rule-body order.
@@ -62,7 +64,7 @@ pub enum ProvEvent {
         /// Node of the (formerly) derived tuple.
         node: NodeId,
         /// The tuple losing support.
-        tuple: Tuple,
+        tuple: Arc<Tuple>,
         /// The rule whose derivation was invalidated.
         rule: Sym,
     },
@@ -73,7 +75,7 @@ pub enum ProvEvent {
         /// Node.
         node: NodeId,
         /// The tuple.
-        tuple: Tuple,
+        tuple: Arc<Tuple>,
     },
     /// A tuple's support returned to zero.
     Disappear {
@@ -82,7 +84,7 @@ pub enum ProvEvent {
         /// Node.
         node: NodeId,
         /// The tuple.
-        tuple: Tuple,
+        tuple: Arc<Tuple>,
     },
 }
 

@@ -1,120 +1,113 @@
-//! Property test: the concrete syntax round-trips. Any rule built from the
-//! AST, printed with `Display`, parses back to the identical AST.
+//! Randomized test: the concrete syntax round-trips. Any rule built from
+//! the AST, printed with `Display`, parses back to the identical AST.
 //!
 //! (String literals are excluded from generated patterns: `Display` prints
 //! them bare for readability, which is deliberately not re-parseable as a
 //! literal.)
 
-use proptest::prelude::*;
-
 use dp_ndlog::{parse_rule, Assign, BinOp, BodyAtom, Constraint, Expr, HeadAtom, Pattern, Rule};
-use dp_types::{Prefix, Sym, Value};
+use dp_types::{DetRng, Prefix, Sym, Value};
 
-fn arb_var() -> impl Strategy<Value = Sym> {
-    "[A-Z][a-z0-9]{0,3}".prop_map(|s| Sym::new(s))
+fn arb_var(rng: &mut DetRng) -> Sym {
+    let n = rng.gen_range_usize(0, 4);
+    let mut s = String::new();
+    s.push((b'A' + rng.gen_range_usize(0, 26) as u8) as char);
+    for _ in 0..n {
+        let c = match rng.gen_range_usize(0, 2) {
+            0 => (b'a' + rng.gen_range_usize(0, 26) as u8) as char,
+            _ => (b'0' + rng.gen_range_usize(0, 10) as u8) as char,
+        };
+        s.push(c);
+    }
+    Sym::new(s)
 }
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        (-1000i64..1000).prop_map(Value::Int),
-        any::<bool>().prop_map(Value::Bool),
-        any::<u32>().prop_map(Value::Ip),
-        (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Value::Prefix(Prefix::new(a, l).unwrap())),
-    ]
-}
-
-fn arb_pattern(vars: Vec<Sym>) -> impl Strategy<Value = Pattern> {
-    prop_oneof![
-        3 => proptest::sample::select(vars).prop_map(Pattern::Var),
-        2 => arb_value().prop_map(Pattern::Const),
-        1 => Just(Pattern::Wildcard),
-    ]
-}
-
-fn arb_arith(vars: Vec<Sym>) -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        proptest::sample::select(vars).prop_map(Expr::Var),
-        (-1000i64..1000).prop_map(|i| Expr::val(i)),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        (
-            proptest::sample::select(vec![BinOp::Add, BinOp::Sub, BinOp::Mul]),
-            inner.clone(),
-            inner,
-        )
-            .prop_map(|(op, l, r)| Expr::bin(op, l, r))
-    })
-}
-
-prop_compose! {
-    fn arb_rule()(
-        vars in proptest::collection::vec(arb_var(), 2..5),
-        n_atoms in 1usize..3,
-        pat_seed in proptest::collection::vec(0u8..=255, 12),
-        assign_expr in arb_arith(vec![Sym::new("Z0"), Sym::new("Z1")]),
-        cmp in proptest::sample::select(vec![BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge, BinOp::Eq, BinOp::Ne]),
-    )(
-        vars in Just(vars.clone()),
-        n_atoms in Just(n_atoms),
-        patterns in proptest::collection::vec(
-            arb_pattern({
-                // Patterns draw from the declared vars plus the two
-                // assignment inputs.
-                let mut v = vars;
-                v.push(Sym::new("Z0"));
-                v.push(Sym::new("Z1"));
-                v
-            }),
-            (n_atoms * 2)..(n_atoms * 2 + 1),
-        ),
-        assign_expr in Just(assign_expr),
-        cmp in Just(cmp),
-        _seed in Just(pat_seed),
-    ) -> Rule {
-        // Guarantee Z0/Z1 are bound: force the first atom's patterns.
-        let mut patterns = patterns;
-        patterns[0] = Pattern::Var(Sym::new("Z0"));
-        patterns[1] = Pattern::Var(Sym::new("Z1"));
-        let body: Vec<BodyAtom> = (0..n_atoms)
-            .map(|i| BodyAtom {
-                table: Sym::new(format!("t{i}")),
-                loc: Sym::new("N"),
-                args: patterns[i * 2..i * 2 + 2].to_vec(),
-            })
-            .collect();
-        let _ = vars;
-        Rule {
-            name: Sym::new("r"),
-            head: HeadAtom {
-                table: Sym::new("h"),
-                loc: Expr::var("N"),
-                args: vec![Expr::var("Z0"), Expr::var("W")],
-            },
-            body,
-            assigns: vec![Assign {
-                var: Sym::new("W"),
-                expr: assign_expr,
-            }],
-            constraints: vec![Constraint::Expr(Expr::bin(
-                cmp,
-                Expr::var("Z0"),
-                Expr::var("Z1"),
-            ))],
-            link_delay: 1,
-            agg: None,
+fn arb_value(rng: &mut DetRng) -> Value {
+    match rng.gen_range_usize(0, 4) {
+        0 => Value::Int(rng.gen_range_i64(-1000, 1000)),
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::Ip(rng.next_u32()),
+        _ => {
+            let len = rng.gen_range_usize(0, 33) as u8;
+            Value::Prefix(Prefix::new(rng.next_u32(), len).unwrap())
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn arb_pattern(rng: &mut DetRng, vars: &[Sym]) -> Pattern {
+    match rng.gen_range_usize(0, 6) {
+        0..=2 => Pattern::Var(vars[rng.gen_range_usize(0, vars.len())].clone()),
+        3 | 4 => Pattern::Const(arb_value(rng)),
+        _ => Pattern::Wildcard,
+    }
+}
 
-    #[test]
-    fn display_then_parse_is_identity(rule in arb_rule()) {
+fn arb_arith(rng: &mut DetRng, vars: &[Sym], depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.4) {
+        if rng.gen_bool(0.5) {
+            Expr::Var(vars[rng.gen_range_usize(0, vars.len())].clone())
+        } else {
+            Expr::val(rng.gen_range_i64(-1000, 1000))
+        }
+    } else {
+        let ops = [BinOp::Add, BinOp::Sub, BinOp::Mul];
+        let op = ops[rng.gen_range_usize(0, ops.len())];
+        let l = arb_arith(rng, vars, depth - 1);
+        let r = arb_arith(rng, vars, depth - 1);
+        Expr::bin(op, l, r)
+    }
+}
+
+fn arb_rule(rng: &mut DetRng) -> Rule {
+    let mut vars: Vec<Sym> = (0..rng.gen_range_usize(2, 5)).map(|_| arb_var(rng)).collect();
+    vars.push(Sym::new("Z0"));
+    vars.push(Sym::new("Z1"));
+    let n_atoms = rng.gen_range_usize(1, 3);
+    let mut patterns: Vec<Pattern> = (0..n_atoms * 2).map(|_| arb_pattern(rng, &vars)).collect();
+    // Guarantee Z0/Z1 are bound: force the first atom's patterns.
+    patterns[0] = Pattern::Var(Sym::new("Z0"));
+    patterns[1] = Pattern::Var(Sym::new("Z1"));
+    let body: Vec<BodyAtom> = (0..n_atoms)
+        .map(|i| BodyAtom {
+            table: Sym::new(format!("t{i}")),
+            loc: Sym::new("N"),
+            args: patterns[i * 2..i * 2 + 2].to_vec(),
+        })
+        .collect();
+    let assign_expr = arb_arith(rng, &[Sym::new("Z0"), Sym::new("Z1")], 3);
+    let cmps = [BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge, BinOp::Eq, BinOp::Ne];
+    let cmp = cmps[rng.gen_range_usize(0, cmps.len())];
+    Rule {
+        name: Sym::new("r"),
+        head: HeadAtom {
+            table: Sym::new("h"),
+            loc: Expr::var("N"),
+            args: vec![Expr::var("Z0"), Expr::var("W")],
+        },
+        body,
+        assigns: vec![Assign {
+            var: Sym::new("W"),
+            expr: assign_expr,
+        }],
+        constraints: vec![Constraint::Expr(Expr::bin(
+            cmp,
+            Expr::var("Z0"),
+            Expr::var("Z1"),
+        ))],
+        link_delay: 1,
+        agg: None,
+    }
+}
+
+#[test]
+fn display_then_parse_is_identity() {
+    let mut rng = DetRng::seed_from_u64(0x9A25_E001);
+    for _ in 0..256 {
+        let rule = arb_rule(&mut rng);
         let text = rule.to_string();
-        let reparsed = parse_rule(&text)
-            .unwrap_or_else(|e| panic!("unparseable display {text:?}: {e}"));
-        prop_assert_eq!(rule, reparsed, "text was {}", text);
+        let reparsed =
+            parse_rule(&text).unwrap_or_else(|e| panic!("unparseable display {text:?}: {e}"));
+        assert_eq!(rule, reparsed, "text was {text}");
     }
 }
 

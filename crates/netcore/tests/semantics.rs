@@ -1,12 +1,12 @@
-//! Property test: compiling a policy to prioritized flow entries preserves
+//! Randomized test: compiling a policy to prioritized flow entries preserves
 //! its semantics. A reference interpreter evaluates the policy AST
 //! directly; the compiled entries are evaluated with OpenFlow semantics
 //! (all best-priority matches fire); both must agree on every packet.
-
-use proptest::prelude::*;
+//! Inputs come from the in-repo deterministic generator (offline build —
+//! no property-testing framework).
 
 use dp_netcore::{compile, normalize, Action, FlowSpec, Policy, Pred};
-use dp_types::Prefix;
+use dp_types::{DetRng, Prefix};
 
 /// Direct interpretation of a predicate.
 fn eval_pred(p: &Pred, src: u32, dst: u32) -> bool {
@@ -51,7 +51,6 @@ fn eval_policy(p: &Policy, src: u32, dst: u32) -> Vec<i64> {
     out
 }
 
-
 /// OpenFlow semantics over the compiled entries.
 fn eval_compiled(specs: &[FlowSpec], src: u32, dst: u32) -> Vec<i64> {
     let best = specs
@@ -72,46 +71,54 @@ fn eval_compiled(specs: &[FlowSpec], src: u32, dst: u32) -> Vec<i64> {
     out
 }
 
-fn arb_prefix() -> impl Strategy<Value = Prefix> {
+fn arb_prefix(rng: &mut DetRng) -> Prefix {
     // Short prefixes so random packets actually hit them.
-    (any::<u32>(), 0u8..=4).prop_map(|(a, l)| Prefix::new(a, l).unwrap())
+    Prefix::new(rng.next_u32(), rng.gen_range_usize(0, 5) as u8).unwrap()
 }
 
-fn arb_pred() -> impl Strategy<Value = Pred> {
-    let leaf = prop_oneof![
-        Just(Pred::Any),
-        arb_prefix().prop_map(Pred::SrcIn),
-        arb_prefix().prop_map(Pred::DstIn),
-    ];
-    leaf.prop_recursive(2, 8, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner).prop_map(|(a, b)| a.or(b)),
-        ]
-    })
+fn arb_pred(rng: &mut DetRng, depth: usize) -> Pred {
+    if depth > 0 && rng.gen_bool(0.4) {
+        let a = arb_pred(rng, depth - 1);
+        let b = arb_pred(rng, depth - 1);
+        if rng.gen_bool(0.5) {
+            a.and(b)
+        } else {
+            a.or(b)
+        }
+    } else {
+        match rng.gen_range_usize(0, 3) {
+            0 => Pred::Any,
+            1 => Pred::SrcIn(arb_prefix(rng)),
+            _ => Pred::DstIn(arb_prefix(rng)),
+        }
+    }
 }
 
-fn arb_action() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (1i64..8).prop_map(Action::Forward),
-        Just(Action::Drop),
-        proptest::collection::vec(1i64..8, 1..3).prop_map(Action::Multi),
-    ]
+fn arb_action(rng: &mut DetRng) -> Action {
+    match rng.gen_range_usize(0, 3) {
+        0 => Action::Forward(rng.gen_range_i64(1, 8)),
+        1 => Action::Drop,
+        _ => Action::Multi(
+            (0..rng.gen_range_usize(1, 3))
+                .map(|_| rng.gen_range_i64(1, 8))
+                .collect(),
+        ),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The if-then-else structure of a policy is preserved by the
-    /// priority-band compilation — for if/else policies without Union
-    /// overlap inside a branch, interpreter and compiled switch agree.
-    #[test]
-    fn ifelse_chains_compile_faithfully(
-        preds in proptest::collection::vec(arb_pred(), 1..4),
-        ports in proptest::collection::vec(1i64..8, 5),
-        src in any::<u32>(),
-        dst in any::<u32>(),
-    ) {
+/// The if-then-else structure of a policy is preserved by the
+/// priority-band compilation — for if/else policies without Union overlap
+/// inside a branch, interpreter and compiled switch agree.
+#[test]
+fn ifelse_chains_compile_faithfully() {
+    let mut rng = DetRng::seed_from_u64(0x5EED_0001);
+    for _ in 0..128 {
+        let preds: Vec<Pred> = (0..rng.gen_range_usize(1, 4))
+            .map(|_| arb_pred(&mut rng, 2))
+            .collect();
+        let ports: Vec<i64> = (0..5).map(|_| rng.gen_range_i64(1, 8)).collect();
+        let src = rng.next_u32();
+        let dst = rng.next_u32();
         // Build if p1 { fwd port1 } else if p2 { ... } else { fwd p_last }.
         let mut policy = Policy::Filter(Pred::Any, Action::Forward(ports[4]));
         for (i, p) in preds.iter().enumerate().rev() {
@@ -122,20 +129,23 @@ proptest! {
             );
         }
         let specs = compile(&policy).unwrap();
-        prop_assert_eq!(eval_compiled(&specs, src, dst), eval_policy(&policy, src, dst));
+        assert_eq!(eval_compiled(&specs, src, dst), eval_policy(&policy, src, dst));
     }
+}
 
-    /// Arbitrary policies: wherever the interpreter produces a single
-    /// decision layer (no cross-branch unions with differing predicates),
-    /// the compiled form matches. We restrict to top-level unions of
-    /// filters, which OpenFlow's all-best-matches semantics represents
-    /// exactly.
-    #[test]
-    fn filter_unions_compile_faithfully(
-        filters in proptest::collection::vec((arb_pred(), arb_action()), 1..4),
-        src in any::<u32>(),
-        dst in any::<u32>(),
-    ) {
+/// Arbitrary policies: wherever the interpreter produces a single decision
+/// layer (no cross-branch unions with differing predicates), the compiled
+/// form matches. We restrict to top-level unions of filters, which
+/// OpenFlow's all-best-matches semantics represents exactly.
+#[test]
+fn filter_unions_compile_faithfully() {
+    let mut rng = DetRng::seed_from_u64(0x5EED_0002);
+    for _ in 0..128 {
+        let filters: Vec<(Pred, Action)> = (0..rng.gen_range_usize(1, 4))
+            .map(|_| (arb_pred(&mut rng, 2), arb_action(&mut rng)))
+            .collect();
+        let src = rng.next_u32();
+        let dst = rng.next_u32();
         // A union of filters at one priority: all matching actions fire.
         let policy = Policy::Union(
             filters
@@ -144,19 +154,21 @@ proptest! {
                 .collect(),
         );
         let specs = compile(&policy).unwrap();
-        prop_assert_eq!(eval_compiled(&specs, src, dst), eval_policy(&policy, src, dst));
+        assert_eq!(eval_compiled(&specs, src, dst), eval_policy(&policy, src, dst));
     }
+}
 
-    /// Normalization is semantics-preserving: a packet matches the DNF iff
-    /// it satisfies the predicate.
-    #[test]
-    fn normalize_preserves_predicate_semantics(
-        pred in arb_pred(),
-        src in any::<u32>(),
-        dst in any::<u32>(),
-    ) {
+/// Normalization is semantics-preserving: a packet matches the DNF iff it
+/// satisfies the predicate.
+#[test]
+fn normalize_preserves_predicate_semantics() {
+    let mut rng = DetRng::seed_from_u64(0x5EED_0003);
+    for _ in 0..128 {
+        let pred = arb_pred(&mut rng, 2);
+        let src = rng.next_u32();
+        let dst = rng.next_u32();
         let dnf = normalize(&pred);
         let via_dnf = dnf.iter().any(|c| c.src.contains(src) && c.dst.contains(dst));
-        prop_assert_eq!(via_dnf, eval_pred(&pred, src, dst));
+        assert_eq!(via_dnf, eval_pred(&pred, src, dst));
     }
 }

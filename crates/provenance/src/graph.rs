@@ -10,6 +10,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use dp_ndlog::{ProvEvent, ProvenanceSink};
 use dp_types::{LogicalTime, NodeId, Sym, Tuple, TupleRef};
@@ -69,8 +70,9 @@ pub struct Vertex {
     pub kind: VertexKind,
     /// The node the tuple lives on.
     pub node: NodeId,
-    /// The tuple the vertex describes.
-    pub tuple: Tuple,
+    /// The tuple the vertex describes (shared with the engine's interner,
+    /// so a graph holds one allocation per distinct tuple).
+    pub tuple: Arc<Tuple>,
     /// Event time (for EXIST: interval start).
     pub time: LogicalTime,
     /// Direct causes of this vertex.
@@ -124,7 +126,7 @@ pub struct Episode {
 impl Episode {
     /// True if the episode covers time `t`.
     pub fn covers(&self, t: LogicalTime) -> bool {
-        self.start <= t && self.end.map_or(true, |e| t < e)
+        self.start <= t && self.end.is_none_or(|e| t < e)
     }
 }
 

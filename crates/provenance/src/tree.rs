@@ -6,6 +6,8 @@
 //! subtrees, tree vertex counts (the numbers reported in Table 1) exceed
 //! the number of distinct tuples involved.
 
+use std::sync::Arc;
+
 use dp_types::{LogicalTime, NodeId, Sym, Tuple, TupleRef};
 
 use crate::graph::{ProvGraph, VertexId, VertexKind};
@@ -20,8 +22,8 @@ pub struct TreeNode {
     pub kind: VertexKind,
     /// Node the tuple lives on.
     pub node: NodeId,
-    /// The tuple.
-    pub tuple: Tuple,
+    /// The tuple (shared with the source graph's vertices).
+    pub tuple: Arc<Tuple>,
     /// Event time / interval start.
     pub time: LogicalTime,
     /// Parent in the tree (`None` for the root).

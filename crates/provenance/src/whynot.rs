@@ -220,7 +220,7 @@ fn explain_rule<S: ProvenanceSink>(
                 // Prefer the most advanced explanation (most atoms
                 // satisfied before failing), then the most informative.
                 let score = score_of(progress, &reason);
-                if best.as_ref().map_or(true, |(p, r)| score > score_of(*p, r)) {
+                if best.as_ref().is_none_or(|(p, r)| score > score_of(*p, r)) {
                     best = Some((progress, reason));
                 }
             }
@@ -423,7 +423,7 @@ fn search_body<S: ProvenanceSink>(
             Err(e) => {
                 if best_err
                     .as_ref()
-                    .map_or(true, |(p, r)| score_of(e.0, &e.1) > score_of(*p, r))
+                    .is_none_or(|(p, r)| score_of(e.0, &e.1) > score_of(*p, r))
                 {
                     best_err = Some(e);
                 }

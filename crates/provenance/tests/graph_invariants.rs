@@ -1,13 +1,13 @@
-//! Property tests: structural invariants of the temporal provenance graph
-//! hold under arbitrary insertion/deletion schedules.
+//! Randomized tests: structural invariants of the temporal provenance
+//! graph hold under arbitrary insertion/deletion schedules. Schedules are
+//! generated with the in-repo deterministic generator (offline build — no
+//! property-testing framework).
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use dp_ndlog::{Engine, Program};
 use dp_provenance::{extract_tree, GraphRecorder, ProvGraph, VertexKind};
-use dp_types::{tuple, FieldType, NodeId, Schema, SchemaRegistry, Sym, TableKind, TupleRef};
+use dp_types::{tuple, DetRng, FieldType, NodeId, Schema, SchemaRegistry, Sym, TableKind, TupleRef};
 
 fn program() -> Arc<Program> {
     let mut reg = SchemaRegistry::new();
@@ -25,9 +25,22 @@ fn program() -> Arc<Program> {
         .unwrap()
 }
 
+/// One random op: (is_delete, is_k_table, value, due).
+fn arb_ops(rng: &mut DetRng) -> Vec<(bool, bool, i64, u64)> {
+    (0..rng.gen_range_usize(1, 30))
+        .map(|_| {
+            (
+                rng.gen_bool(0.5),
+                rng.gen_bool(0.5),
+                rng.gen_range_i64(-3, 3),
+                rng.gen_range_u64(0, 200),
+            )
+        })
+        .collect()
+}
+
 /// A random schedule of inserts and deletes, replayed into a graph.
 fn run_schedule(ops: &[(bool, bool, i64, u64)]) -> (ProvGraph, u64) {
-    // (is_delete, is_k_table, value, due)
     let mut eng = Engine::new(program(), GraphRecorder::new());
     let n = NodeId::new("n");
     for &(is_delete, is_k, v, due) in ops {
@@ -43,61 +56,55 @@ fn run_schedule(ops: &[(bool, bool, i64, u64)]) -> (ProvGraph, u64) {
     (eng.into_sink().finish(), now)
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<(bool, bool, i64, u64)>> {
-    proptest::collection::vec(
-        (any::<bool>(), any::<bool>(), -3i64..3, 0u64..200),
-        1..30,
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Vertex-type structure: EXIST -> APPEAR -> (INSERT|DERIVE), DERIVE
-    /// children are EXISTs, DISAPPEAR children are negative vertexes.
-    #[test]
-    fn vertex_children_follow_the_grammar(ops in arb_ops()) {
+/// Vertex-type structure: EXIST -> APPEAR -> (INSERT|DERIVE), DERIVE
+/// children are EXISTs, DISAPPEAR children are negative vertexes.
+#[test]
+fn vertex_children_follow_the_grammar() {
+    let mut rng = DetRng::seed_from_u64(0x6A4F_0001);
+    for _ in 0..48 {
+        let ops = arb_ops(&mut rng);
         let (g, _) = run_schedule(&ops);
         for v in g.vertices() {
             match &v.kind {
                 VertexKind::Exist { .. } => {
-                    prop_assert_eq!(v.children.len(), 1);
-                    prop_assert!(matches!(g.vertex(v.children[0]).kind, VertexKind::Appear));
+                    assert_eq!(v.children.len(), 1);
+                    assert!(matches!(g.vertex(v.children[0]).kind, VertexKind::Appear));
                 }
                 VertexKind::Appear => {
-                    prop_assert_eq!(v.children.len(), 1);
-                    let ok = matches!(
+                    assert_eq!(v.children.len(), 1);
+                    assert!(matches!(
                         g.vertex(v.children[0]).kind,
                         VertexKind::Insert | VertexKind::Derive { .. }
-                    );
-                    prop_assert!(ok);
+                    ));
                 }
                 VertexKind::Derive { .. } => {
                     for &c in &v.children {
-                        let ok = matches!(g.vertex(c).kind, VertexKind::Exist { .. });
-                        prop_assert!(ok);
+                        assert!(matches!(g.vertex(c).kind, VertexKind::Exist { .. }));
                     }
                 }
                 VertexKind::Disappear => {
                     for &c in &v.children {
-                        let ok = matches!(
+                        assert!(matches!(
                             g.vertex(c).kind,
                             VertexKind::Delete | VertexKind::Underive { .. }
-                        );
-                        prop_assert!(ok);
+                        ));
                     }
                 }
                 VertexKind::Insert | VertexKind::Delete | VertexKind::Underive { .. } => {
-                    prop_assert!(v.children.is_empty());
+                    assert!(v.children.is_empty());
                 }
             }
         }
     }
+}
 
-    /// Episodes of one tuple never overlap and are ordered in time; EXIST
-    /// intervals agree with the episode records.
-    #[test]
-    fn episodes_are_disjoint_and_ordered(ops in arb_ops()) {
+/// Episodes of one tuple never overlap and are ordered in time; EXIST
+/// intervals agree with the episode records.
+#[test]
+fn episodes_are_disjoint_and_ordered() {
+    let mut rng = DetRng::seed_from_u64(0x6A4F_0002);
+    for _ in 0..48 {
+        let ops = arb_ops(&mut rng);
         let (g, _) = run_schedule(&ops);
         // Collect all trefs seen in the graph.
         let mut seen = std::collections::BTreeSet::new();
@@ -108,24 +115,28 @@ proptest! {
             let eps = g.episodes(&tref);
             for w in eps.windows(2) {
                 let end = w[0].end.expect("only the last episode may be open");
-                prop_assert!(end <= w[1].start);
+                assert!(end <= w[1].start);
             }
             for ep in eps {
                 if let Some(end) = ep.end {
-                    prop_assert!(ep.start <= end);
+                    assert!(ep.start <= end);
                 }
                 match &g.vertex(ep.exist).kind {
-                    VertexKind::Exist { end } => prop_assert_eq!(*end, ep.end),
-                    other => prop_assert!(false, "episode.exist is {other:?}"),
+                    VertexKind::Exist { end } => assert_eq!(*end, ep.end),
+                    other => panic!("episode.exist is {other:?}"),
                 }
             }
         }
     }
+}
 
-    /// Every derived tuple alive at the end has an extractable tree whose
-    /// root matches the query and whose leaves are all INSERT vertexes.
-    #[test]
-    fn live_tuples_have_well_formed_trees(ops in arb_ops()) {
+/// Every derived tuple alive at the end has an extractable tree whose root
+/// matches the query and whose leaves are all INSERT vertexes.
+#[test]
+fn live_tuples_have_well_formed_trees() {
+    let mut rng = DetRng::seed_from_u64(0x6A4F_0003);
+    for _ in 0..48 {
+        let ops = arb_ops(&mut rng);
         let mut eng = Engine::new(program(), GraphRecorder::new());
         let n = NodeId::new("n");
         for &(is_delete, is_k, v, due) in &ops {
@@ -149,11 +160,11 @@ proptest! {
         let g = eng.into_sink().finish();
         for tref in live {
             let tree = extract_tree(&g, &tref, now);
-            prop_assert!(tree.is_some(), "live tuple {tref} has no tree");
+            assert!(tree.is_some(), "live tuple {tref} has no tree");
             let tree = tree.unwrap();
-            prop_assert_eq!(&tree.root().tuple, &tref.tuple);
+            assert_eq!(tree.root().tuple, tref.tuple);
             for (_, leaf) in tree.leaves() {
-                prop_assert!(
+                assert!(
                     matches!(leaf.kind, VertexKind::Insert),
                     "leaf {:?} is not an INSERT",
                     leaf.kind

@@ -22,6 +22,11 @@ pub struct Execution {
     pub program: Arc<Program>,
     /// The logged base events.
     pub log: EventLog,
+    /// When true, every engine this execution builds evaluates joins with
+    /// the naive nested-loop reference path instead of the hash indexes.
+    /// Both paths are observably identical (same event stream, same
+    /// fixpoint); the flag exists for differential checks and benchmarks.
+    pub naive_join: bool,
 }
 
 /// The outcome of a replay: a quiescent engine plus the provenance graph
@@ -65,6 +70,7 @@ impl Execution {
         Execution {
             program,
             log: EventLog::new(),
+            naive_join: false,
         }
     }
 
@@ -76,6 +82,7 @@ impl Execution {
     /// Replays the prefix of the log with `due <= until` (if given).
     pub fn replay_until(&self, until: Option<LogicalTime>) -> Result<Replayed> {
         let mut engine = Engine::new(Arc::clone(&self.program), GraphRecorder::new());
+        engine.set_naive_join(self.naive_join);
         self.log.schedule_into(&mut engine, until)?;
         engine.run()?;
         Ok(Replayed { engine })
@@ -85,6 +92,7 @@ impl Execution {
     /// baseline used to measure capture overhead (Section 6.4).
     pub fn replay_null(&self) -> Result<Engine<NullSink>> {
         let mut engine = Engine::new(Arc::clone(&self.program), NullSink);
+        engine.set_naive_join(self.naive_join);
         self.log.schedule_into(&mut engine, None)?;
         engine.run()?;
         Ok(engine)
@@ -98,6 +106,7 @@ impl Execution {
         let clone = Execution {
             program: Arc::clone(&self.program),
             log: patched,
+            naive_join: self.naive_join,
         };
         clone.replay()
     }
@@ -108,6 +117,7 @@ impl Execution {
         assert!(every > 0, "checkpoint interval must be positive");
         let mut store = CheckpointStore { snaps: Vec::new() };
         let mut engine = Engine::new(Arc::clone(&self.program), NullSink);
+        engine.set_naive_join(self.naive_join);
         let events = self.log.events();
         let mut i = 0;
         while i < events.len() {
@@ -171,6 +181,7 @@ impl Execution {
                     cp.snapshot.clone(),
                     GraphRecorder::new(),
                 );
+                engine.set_naive_join(self.naive_join);
                 for e in self.log.events() {
                     if e.due <= cp.cut {
                         continue;
@@ -241,15 +252,12 @@ pub fn apply_changes(log: &EventLog, changes: &[TupleChange], inject_at: Logical
             if let Some(before) = &c.before {
                 if c.node == e.node && *before == e.tuple {
                     matched[ci] = true;
-                    match &c.after {
-                        Some(after) => out.push(crate::log::BaseEvent {
-                            due: e.due,
-                            node: e.node.clone(),
-                            tuple: after.clone(),
-                            op: e.op,
-                        }),
-                        None => {}
-                    }
+                    if let Some(after) = &c.after { out.push(crate::log::BaseEvent {
+                        due: e.due,
+                        node: e.node.clone(),
+                        tuple: after.clone(),
+                        op: e.op,
+                    }) }
                     continue 'events;
                 }
             }

@@ -1,13 +1,12 @@
-//! Property tests on the replay layer: log ordering, change application,
-//! and storage accounting.
+//! Randomized tests on the replay layer: log ordering, change application,
+//! and storage accounting. Inputs come from the in-repo deterministic
+//! generator (offline build — no property-testing framework).
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use dp_ndlog::{Program, TupleChange};
 use dp_replay::{apply_changes, EventLog, Execution, StorageModel};
-use dp_types::{tuple, FieldType, NodeId, Schema, SchemaRegistry, TableKind, Tuple, Value};
+use dp_types::{tuple, DetRng, FieldType, NodeId, Schema, SchemaRegistry, TableKind, Tuple, Value};
 
 fn program() -> Arc<Program> {
     let mut reg = SchemaRegistry::new();
@@ -21,25 +20,33 @@ fn program() -> Arc<Program> {
         .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The log is always sorted by due time, no matter the insertion order.
-    #[test]
-    fn log_is_sorted(mut dues in proptest::collection::vec(0u64..1000, 1..40)) {
+/// The log is always sorted by due time, no matter the insertion order.
+#[test]
+fn log_is_sorted() {
+    let mut rng = DetRng::seed_from_u64(0x4E91_0001);
+    for _ in 0..64 {
+        let mut dues: Vec<u64> = (0..rng.gen_range_usize(1, 40))
+            .map(|_| rng.gen_range_u64(0, 1000))
+            .collect();
         let mut log = EventLog::new();
         for (i, &due) in dues.iter().enumerate() {
             log.insert(due, "n", tuple!("e", i as i64));
         }
         let got: Vec<u64> = log.events().iter().map(|e| e.due).collect();
         dues.sort_unstable();
-        prop_assert_eq!(got, dues);
+        assert_eq!(got, dues);
     }
+}
 
-    /// Storage accounting is additive: the log's byte size is the sum of
-    /// its records, and appending grows it by exactly the record size.
-    #[test]
-    fn storage_is_additive(values in proptest::collection::vec(-100i64..100, 1..20)) {
+/// Storage accounting is additive: the log's byte size is the sum of its
+/// records, and appending grows it by exactly the record size.
+#[test]
+fn storage_is_additive() {
+    let mut rng = DetRng::seed_from_u64(0x4E91_0002);
+    for _ in 0..64 {
+        let values: Vec<i64> = (0..rng.gen_range_usize(1, 20))
+            .map(|_| rng.gen_range_i64(-100, 100))
+            .collect();
         let model = StorageModel::default();
         let mut log = EventLog::new();
         let mut expected = 0u64;
@@ -48,16 +55,20 @@ proptest! {
             let last = log.events().iter().find(|e| e.tuple == tuple!("e", v)).unwrap();
             expected += model.event_bytes(last) as u64;
         }
-        prop_assert_eq!(model.log_bytes(&log), expected);
+        assert_eq!(model.log_bytes(&log), expected);
     }
+}
 
-    /// Replacement changes preserve log length; deletions shrink it by the
-    /// number of matched events; insertions grow it by one.
-    #[test]
-    fn apply_changes_preserves_counts(
-        ks in proptest::collection::vec(-5i64..5, 1..6),
-        target in -5i64..5,
-    ) {
+/// Replacement changes preserve log length; deletions shrink it by the
+/// number of matched events; insertions grow it by one.
+#[test]
+fn apply_changes_preserves_counts() {
+    let mut rng = DetRng::seed_from_u64(0x4E91_0003);
+    for _ in 0..64 {
+        let ks: Vec<i64> = (0..rng.gen_range_usize(1, 6))
+            .map(|_| rng.gen_range_i64(-5, 5))
+            .collect();
+        let target = rng.gen_range_i64(-5, 5);
         let mut log = EventLog::new();
         for (i, &k) in ks.iter().enumerate() {
             log.insert(i as u64, "n", tuple!("k", k));
@@ -73,16 +84,16 @@ proptest! {
         }];
         let replaced = apply_changes(&log, &replace, 0);
         if matched > 0 {
-            prop_assert_eq!(replaced.len(), log.len());
+            assert_eq!(replaced.len(), log.len());
             let rewritten = replaced
                 .events()
                 .iter()
                 .filter(|e| e.tuple == tuple!("k", 99))
                 .count();
-            prop_assert!(rewritten >= matched);
+            assert!(rewritten >= matched);
         } else {
             // Unmatched replacement falls back to one insertion.
-            prop_assert_eq!(replaced.len(), log.len() + 1);
+            assert_eq!(replaced.len(), log.len() + 1);
         }
 
         // Deletion: shrinks by the matches.
@@ -92,7 +103,7 @@ proptest! {
             after: None,
         }];
         let deleted = apply_changes(&log, &delete, 0);
-        prop_assert_eq!(deleted.len(), log.len() - matched);
+        assert_eq!(deleted.len(), log.len() - matched);
 
         // Pure insertion: grows by one.
         let insert = [TupleChange {
@@ -101,17 +112,21 @@ proptest! {
             after: Some(tuple!("k", 77)),
         }];
         let inserted = apply_changes(&log, &insert, 0);
-        prop_assert_eq!(inserted.len(), log.len() + 1);
+        assert_eq!(inserted.len(), log.len() + 1);
     }
+}
 
-    /// End-to-end: replaying with a replacement change produces exactly the
-    /// state of an execution built with the replacement from the start.
-    #[test]
-    fn patched_replay_equals_rebuilt_execution(
-        inputs in proptest::collection::vec(-20i64..20, 1..10),
-        k_before in -5i64..5,
-        k_after in -5i64..5,
-    ) {
+/// End-to-end: replaying with a replacement change produces exactly the
+/// state of an execution built with the replacement from the start.
+#[test]
+fn patched_replay_equals_rebuilt_execution() {
+    let mut rng = DetRng::seed_from_u64(0x4E91_0004);
+    for _ in 0..64 {
+        let inputs: Vec<i64> = (0..rng.gen_range_usize(1, 10))
+            .map(|_| rng.gen_range_i64(-20, 20))
+            .collect();
+        let k_before = rng.gen_range_i64(-5, 5);
+        let k_after = rng.gen_range_i64(-5, 5);
         let build = |k: i64| {
             let mut exec = Execution::new(program());
             exec.log.insert(0, "n", tuple!("k", k));
@@ -136,7 +151,7 @@ proptest! {
                 .map(|v| v.table(&dp_types::Sym::new("d")).cloned().collect())
                 .unwrap_or_default()
         };
-        prop_assert_eq!(dump(&patched), dump(&rebuilt));
+        assert_eq!(dump(&patched), dump(&rebuilt));
     }
 }
 

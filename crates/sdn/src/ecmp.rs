@@ -38,7 +38,7 @@ pub enum Branch {
 /// Which branch a packet id hashes to in this topology.
 pub fn branch_of(pid: i64) -> Branch {
     let h = dp_ndlog::expr::hash_value(&dp_types::Value::Int(pid));
-    if h % 2 == 0 {
+    if h.is_multiple_of(2) {
         Branch::A
     } else {
         Branch::B

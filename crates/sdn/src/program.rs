@@ -313,7 +313,7 @@ impl StatefulBuiltin for BestMatch {
                     changes.push(TupleChange {
                         node: controller.clone(),
                         before: Some(to_cfg(blocker)),
-                        after: fixed.as_ref().map(|f| to_cfg(f)),
+                        after: fixed.as_ref().map(to_cfg),
                     });
                 }
                 None => {

@@ -12,8 +12,7 @@
 //! additional faulty rules (10 on-path, 10 off-path) and heavy background
 //! traffic; provenance keeps DiffProv from being distracted by either.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dp_types::DetRng;
 
 use diffprov_core::QueryEvent;
 use dp_replay::Execution;
@@ -74,7 +73,7 @@ const T_BAD: LogicalTime = 6_000;
 
 /// Builds the campus network and its forwarding-error scenario.
 pub fn campus(cfg: &CampusConfig) -> Campus {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = DetRng::seed_from_u64(cfg.seed);
     let mut topo = Topology::new("ctl");
 
     // 2 backbone + 14 OZ routers in a tree.
@@ -197,14 +196,14 @@ pub fn campus(cfg: &CampusConfig) -> Campus {
 
     // Background traffic between random zones (HTTP-ish and bulk flows).
     for b in 0..cfg.background_packets {
-        let szi = rng.gen_range(0..zones.len());
-        let dzi = rng.gen_range(0..zones.len());
+        let szi = rng.gen_range_usize(0, zones.len());
+        let dzi = rng.gen_range_usize(0, zones.len());
         let (sz, s_owner) = &zones[szi];
         let (dz, _) = &zones[dzi];
-        let src = sz.addr() | rng.gen_range(1u32..0xffff);
-        let dst = dz.addr() | rng.gen_range(1u32..0xffff);
+        let src = sz.addr() | rng.gen_range_u32(1, 0xffff);
+        let dst = dz.addr() | rng.gen_range_u32(1, 0xffff);
         let proto = if rng.gen_bool(0.8) { 6 } else { 17 };
-        let len = [64i64, 512, 1500][rng.gen_range(0..3)];
+        let len = [64i64, 512, 1500][rng.gen_range_usize(0, 3)];
         exec.log.insert(
             T_TRAFFIC + b as u64,
             NodeId::new(s_owner),

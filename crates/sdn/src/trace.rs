@@ -7,8 +7,7 @@
 //! depend on: configurable rate and packet size, diverse addresses, and
 //! heavy-tailed flow lengths.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dp_types::DetRng;
 
 use dp_types::Tuple;
 
@@ -56,7 +55,7 @@ pub struct Trace {
 /// distribution with mean 4 — small flows dominate, a few flows are long,
 /// which is the qualitative shape of backbone traces.
 pub fn generate(cfg: &TraceConfig) -> Trace {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = DetRng::seed_from_u64(cfg.seed);
     let mut packets = Vec::with_capacity(cfg.packets);
     let mut pid = cfg.first_pid;
     let mut wire_bytes = 0u64;
@@ -67,16 +66,16 @@ pub fn generate(cfg: &TraceConfig) -> Trace {
             Some(f) if rng.gen_bool(0.75) => f,
             _ => {
                 let src = u32::from_be_bytes([
-                    rng.gen_range(lo..=hi),
-                    rng.gen(),
-                    rng.gen(),
-                    rng.gen(),
+                    rng.gen_range_u8_inclusive(lo, hi),
+                    rng.gen_u8(),
+                    rng.gen_u8(),
+                    rng.gen_u8(),
                 ]);
                 let dst = u32::from_be_bytes([
-                    rng.gen_range(lo..=hi),
-                    rng.gen(),
-                    rng.gen(),
-                    rng.gen(),
+                    rng.gen_range_u8_inclusive(lo, hi),
+                    rng.gen_u8(),
+                    rng.gen_u8(),
+                    rng.gen_u8(),
                 ]);
                 let proto = if rng.gen_bool(0.85) { 6 } else { 17 };
                 let f = (src, dst, proto);

@@ -23,6 +23,7 @@
 
 pub mod error;
 pub mod prefix;
+pub mod rng;
 pub mod schema;
 pub mod sym;
 pub mod tuple;
@@ -30,9 +31,10 @@ pub mod value;
 
 pub use error::{Error, Result};
 pub use prefix::Prefix;
+pub use rng::DetRng;
 pub use schema::{FieldDecl, FieldType, Schema, SchemaRegistry, TableKind};
 pub use sym::Sym;
-pub use tuple::{NodeId, Tuple, TupleRef};
+pub use tuple::{NodeId, Tuple, TupleRef, TupleStore};
 pub use value::Value;
 
 /// A logical timestamp assigned by the deterministic engine clock.

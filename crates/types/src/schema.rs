@@ -35,17 +35,17 @@ pub enum FieldType {
 impl FieldType {
     /// Checks a value against this type.
     pub fn accepts(&self, v: &Value) -> bool {
-        match (self, v) {
-            (FieldType::Any, _) => true,
-            (FieldType::Int, Value::Int(_)) => true,
-            (FieldType::Bool, Value::Bool(_)) => true,
-            (FieldType::Str, Value::Str(_)) => true,
-            (FieldType::Ip, Value::Ip(_)) => true,
-            (FieldType::Prefix, Value::Prefix(_) | Value::Ip(_)) => true,
-            (FieldType::Sum, Value::Sum(_)) => true,
-            (FieldType::Time, Value::Time(_)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, v),
+            (FieldType::Any, _)
+                | (FieldType::Int, Value::Int(_))
+                | (FieldType::Bool, Value::Bool(_))
+                | (FieldType::Str, Value::Str(_))
+                | (FieldType::Ip, Value::Ip(_))
+                | (FieldType::Prefix, Value::Prefix(_) | Value::Ip(_))
+                | (FieldType::Sum, Value::Sum(_))
+                | (FieldType::Time, Value::Time(_))
+        )
     }
 }
 

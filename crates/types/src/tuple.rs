@@ -1,6 +1,8 @@
-//! Tuples and node identities.
+//! Tuples, node identities, and the tuple interner.
 
+use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::sym::Sym;
 use crate::value::Value;
@@ -48,6 +50,9 @@ impl From<&str> for NodeId {
 /// `Tuple { table: "flowEntry", args: [Int(5), Int(8), Ip(1.2.3.4)] }`.
 /// Tuples are location-free; the engine pairs them with a [`NodeId`] when
 /// storing them, mirroring the paper's `@X` location specifier.
+///
+/// Hot paths pass tuples around as `Arc<Tuple>` (see [`TupleStore`]); a
+/// plain `Tuple` is the mutable construction form.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Tuple {
     /// The table this tuple belongs to.
@@ -95,21 +100,103 @@ impl fmt::Debug for Tuple {
     }
 }
 
+// `Arc` is `#[fundamental]`, so these impls are legal here even though
+// `Arc` itself is foreign. They let call sites compare and construct
+// shared tuples without sprinkling explicit `Arc::new`/deref everywhere.
+impl From<&Tuple> for Arc<Tuple> {
+    fn from(t: &Tuple) -> Self {
+        Arc::new(t.clone())
+    }
+}
+
+impl PartialEq<Tuple> for Arc<Tuple> {
+    fn eq(&self, other: &Tuple) -> bool {
+        **self == *other
+    }
+}
+
+impl PartialEq<Arc<Tuple>> for Tuple {
+    fn eq(&self, other: &Arc<Tuple>) -> bool {
+        *self == **other
+    }
+}
+
+/// An interner for tuples.
+///
+/// The engine's hot path used to clone whole `Tuple`s per derivation record
+/// and per provenance event. Interning makes each distinct tuple a single
+/// heap allocation shared by reference count; equality-checked re-insertions
+/// return the existing `Arc`, so derivation records, index buckets, and
+/// provenance events all point at one copy.
+#[derive(Clone, Debug, Default)]
+pub struct TupleStore {
+    set: HashSet<Arc<Tuple>>,
+}
+
+impl TupleStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        TupleStore::default()
+    }
+
+    /// Returns the shared handle for `tuple`, allocating it on first sight.
+    pub fn intern(&mut self, tuple: Tuple) -> Arc<Tuple> {
+        if let Some(existing) = self.set.get(&tuple) {
+            return Arc::clone(existing);
+        }
+        let arc = Arc::new(tuple);
+        self.set.insert(Arc::clone(&arc));
+        arc
+    }
+
+    /// Returns the shared handle for an already-shared tuple, deduplicating
+    /// equal allocations.
+    pub fn intern_arc(&mut self, tuple: Arc<Tuple>) -> Arc<Tuple> {
+        if let Some(existing) = self.set.get(&*tuple) {
+            return Arc::clone(existing);
+        }
+        self.set.insert(Arc::clone(&tuple));
+        tuple
+    }
+
+    /// Number of distinct tuples interned.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Drops interned tuples no longer referenced anywhere else, returning
+    /// how many were released. Useful between long replay segments.
+    pub fn gc(&mut self) -> usize {
+        let before = self.set.len();
+        self.set.retain(|a| Arc::strong_count(a) > 1);
+        before - self.set.len()
+    }
+}
+
 /// A tuple located at a node: the paper's `τ @ n`.
+///
+/// The tuple payload is shared (`Arc`), so cloning a `TupleRef` is two
+/// reference-count bumps rather than a deep copy of the argument vector.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TupleRef {
     /// Where the tuple lives.
     pub node: NodeId,
     /// The tuple itself.
-    pub tuple: Tuple,
+    pub tuple: Arc<Tuple>,
 }
 
 impl TupleRef {
-    /// Pairs a tuple with its location.
-    pub fn new(node: impl Into<NodeId>, tuple: Tuple) -> Self {
+    /// Pairs a tuple with its location. Accepts an owned `Tuple`, an
+    /// `Arc<Tuple>`, or `&Tuple`.
+    pub fn new(node: impl Into<NodeId>, tuple: impl Into<Arc<Tuple>>) -> Self {
         TupleRef {
             node: node.into(),
-            tuple,
+            tuple: tuple.into(),
         }
     }
 }
@@ -167,5 +254,37 @@ mod tests {
         let mut v = vec![c.clone(), b.clone(), a.clone()];
         v.sort();
         assert_eq!(v, vec![a, b, c]);
+    }
+
+    #[test]
+    fn store_interns_to_one_allocation() {
+        let mut store = TupleStore::new();
+        let a = store.intern(tuple!("t", 1));
+        let b = store.intern(tuple!("t", 1));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.len(), 1);
+        let c = store.intern(tuple!("t", 2));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn store_gc_releases_unreferenced() {
+        let mut store = TupleStore::new();
+        let keep = store.intern(tuple!("t", 1));
+        store.intern(tuple!("t", 2));
+        assert_eq!(store.gc(), 1);
+        assert_eq!(store.len(), 1);
+        drop(keep);
+        assert_eq!(store.gc(), 1);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn arc_tuple_comparisons_smooth() {
+        let t = tuple!("t", 1);
+        let a: Arc<Tuple> = (&t).into();
+        assert!(a == t);
+        assert!(t == a);
     }
 }

@@ -204,7 +204,7 @@ mod tests {
     fn accessors_check_types() {
         assert_eq!(Value::Int(7).as_int().unwrap(), 7);
         assert!(Value::Int(7).as_bool().is_err());
-        assert_eq!(Value::Bool(true).as_bool().unwrap(), true);
+        assert!(Value::Bool(true).as_bool().unwrap());
         assert_eq!(Value::Ip(ip("1.2.3.4")).as_ip().unwrap(), ip("1.2.3.4"));
         assert_eq!(Value::str("x").as_str().unwrap(), &Sym::new("x"));
         assert_eq!(Value::Sum(9).as_sum().unwrap(), 9);

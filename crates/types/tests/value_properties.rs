@@ -1,60 +1,91 @@
-//! Property tests on the foundation types.
+//! Randomized property tests on the foundation types, driven by the
+//! in-repo deterministic generator (the workspace builds offline, so no
+//! property-testing framework is available).
 
-use proptest::prelude::*;
+use dp_types::{DetRng, Prefix, Sym, Tuple, Value};
 
-use dp_types::{Prefix, Sym, Tuple, Value};
-
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        any::<i64>().prop_map(Value::Int),
-        any::<bool>().prop_map(Value::Bool),
-        "[a-z]{0,8}".prop_map(Value::str),
-        any::<u32>().prop_map(Value::Ip),
-        (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Value::Prefix(Prefix::new(a, l).unwrap())),
-        any::<u64>().prop_map(Value::Sum),
-        any::<u64>().prop_map(Value::Time),
-    ]
+fn arb_value(rng: &mut DetRng) -> Value {
+    match rng.gen_range_usize(0, 7) {
+        0 => Value::Int(rng.next_u64() as i64),
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => {
+            let n = rng.gen_range_usize(0, 9);
+            let s: String = (0..n)
+                .map(|_| (b'a' + rng.gen_range_usize(0, 26) as u8) as char)
+                .collect();
+            Value::str(s)
+        }
+        3 => Value::Ip(rng.next_u32()),
+        4 => {
+            let len = rng.gen_range_usize(0, 33) as u8;
+            Value::Prefix(Prefix::new(rng.next_u32(), len).unwrap())
+        }
+        5 => Value::Sum(rng.next_u64()),
+        _ => Value::Time(rng.next_u64()),
+    }
 }
 
-proptest! {
-    /// Value ordering is a total order consistent with equality.
-    #[test]
-    fn value_ordering_is_total(a in arb_value(), b in arb_value(), c in arb_value()) {
-        use std::cmp::Ordering;
-        prop_assert_eq!(a.cmp(&b) == Ordering::Equal, a == b);
-        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+/// Value ordering is a total order consistent with equality.
+#[test]
+fn value_ordering_is_total() {
+    use std::cmp::Ordering;
+    let mut rng = DetRng::seed_from_u64(0x7E57_0001);
+    for _ in 0..2000 {
+        let a = arb_value(&mut rng);
+        let b = arb_value(&mut rng);
+        let c = arb_value(&mut rng);
+        assert_eq!(a.cmp(&b) == Ordering::Equal, a == b);
+        assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
         if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
-            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+            assert_ne!(a.cmp(&c), Ordering::Greater);
         }
     }
+}
 
-    /// Tuple ordering is lexicographic over (table, args).
-    #[test]
-    fn tuple_ordering_is_lexicographic(
-        xs in proptest::collection::vec(arb_value(), 0..4),
-        ys in proptest::collection::vec(arb_value(), 0..4),
-    ) {
+/// Tuple ordering is lexicographic over (table, args).
+#[test]
+fn tuple_ordering_is_lexicographic() {
+    let mut rng = DetRng::seed_from_u64(0x7E57_0002);
+    for _ in 0..1000 {
+        let xs: Vec<Value> = (0..rng.gen_range_usize(0, 4))
+            .map(|_| arb_value(&mut rng))
+            .collect();
+        let ys: Vec<Value> = (0..rng.gen_range_usize(0, 4))
+            .map(|_| arb_value(&mut rng))
+            .collect();
         let a = Tuple::new("t", xs.clone());
         let b = Tuple::new("t", ys.clone());
-        prop_assert_eq!(a.cmp(&b), xs.cmp(&ys));
+        assert_eq!(a.cmp(&b), xs.cmp(&ys));
         let c = Tuple::new("s", xs);
-        prop_assert!(c < a || c.table == a.table);
+        assert!(c < a || c.table == a.table);
     }
+}
 
-    /// IPv4 display/parse round-trips for every address.
-    #[test]
-    fn ip_display_roundtrips(ip in any::<u32>()) {
+/// IPv4 display/parse round-trips.
+#[test]
+fn ip_display_roundtrips() {
+    let mut rng = DetRng::seed_from_u64(0x7E57_0003);
+    for _ in 0..2000 {
+        let ip = rng.next_u32();
         let s = Prefix::fmt_ip(ip);
-        prop_assert_eq!(Prefix::parse_ip(&s).unwrap(), ip);
+        assert_eq!(Prefix::parse_ip(&s).unwrap(), ip);
     }
+}
 
-    /// Symbols hash and compare consistently with their strings.
-    #[test]
-    fn sym_matches_string(s in "[a-zA-Z0-9_]{0,12}") {
+/// Symbols hash and compare consistently with their strings.
+#[test]
+fn sym_matches_string() {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+    let mut rng = DetRng::seed_from_u64(0x7E57_0004);
+    for _ in 0..1000 {
+        let n = rng.gen_range_usize(0, 13);
+        let s: String = (0..n)
+            .map(|_| ALPHABET[rng.gen_range_usize(0, ALPHABET.len())] as char)
+            .collect();
         let sym = Sym::new(&s);
-        prop_assert_eq!(sym.as_str(), s.as_str());
+        assert_eq!(sym.as_str(), s.as_str());
         let sym2 = Sym::new(&s);
-        prop_assert_eq!(&sym, &sym2);
+        assert_eq!(&sym, &sym2);
         use std::collections::hash_map::DefaultHasher;
         use std::hash::{Hash, Hasher};
         let h = |x: &Sym| {
@@ -62,19 +93,22 @@ proptest! {
             x.hash(&mut hh);
             hh.finish()
         };
-        prop_assert_eq!(h(&sym), h(&sym2));
+        assert_eq!(h(&sym), h(&sym2));
     }
+}
 
-    /// Prefix containment is antisymmetric under `covers` and consistent
-    /// with `contains`.
-    #[test]
-    fn prefix_covers_consistency(a in (any::<u32>(), 0u8..=32), b in (any::<u32>(), 0u8..=32)) {
-        let pa = Prefix::new(a.0, a.1).unwrap();
-        let pb = Prefix::new(b.0, b.1).unwrap();
+/// Prefix containment is antisymmetric under `covers` and consistent with
+/// `contains`.
+#[test]
+fn prefix_covers_consistency() {
+    let mut rng = DetRng::seed_from_u64(0x7E57_0005);
+    for _ in 0..2000 {
+        let pa = Prefix::new(rng.next_u32(), rng.gen_range_usize(0, 33) as u8).unwrap();
+        let pb = Prefix::new(rng.next_u32(), rng.gen_range_usize(0, 33) as u8).unwrap();
         if pa.covers(&pb) {
-            prop_assert!(pa.contains(pb.addr()));
+            assert!(pa.contains(pb.addr()));
             if pb.covers(&pa) {
-                prop_assert_eq!(pa, pb);
+                assert_eq!(pa, pb);
             }
         }
     }

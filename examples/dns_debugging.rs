@@ -80,8 +80,10 @@ fn main() {
 
     // 4. Diagnose with cross-node equivalence: "treat dnsC's behaviour as
     //    what dnsA should have done".
-    let mut dp = DiffProv::default();
-    dp.map_seed_nodes = true;
+    let dp = DiffProv {
+        map_seed_nodes: true,
+        ..Default::default()
+    };
     let report = dp.diagnose(&exec, &good, &exec, &bad).expect("diagnosis runs");
     println!("{report}");
     assert!(report.succeeded() && report.delta.len() == 1);

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full local gate: release build, test suite, and lint-clean clippy.
+# Run from the repository root before sending a change out.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings

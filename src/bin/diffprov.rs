@@ -61,7 +61,7 @@ fn main() {
     }
 }
 
-fn arg<'a>(args: &'a [String], i: usize) -> &'a str {
+fn arg(args: &[String], i: usize) -> &str {
     args.get(i).map(String::as_str).unwrap_or_else(|| {
         eprintln!("missing argument; see `diffprov` for usage");
         std::process::exit(2);
@@ -69,7 +69,7 @@ fn arg<'a>(args: &'a [String], i: usize) -> &'a str {
 }
 
 fn cmd_list() {
-    println!("{:<8} {}", "name", "description");
+    println!("{:<8} description", "name");
     for s in scenarios() {
         println!("{:<8} {}", s.name, s.description);
     }

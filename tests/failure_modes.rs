@@ -139,8 +139,10 @@ fn native_rule_over_tainted_inputs_is_non_invertible() {
 #[test]
 fn round_limit_is_respected() {
     let s = diffprov::sdn::sdn4();
-    let mut dp = DiffProv::default();
-    dp.max_rounds = 1; // SDN4 needs two
+    let dp = DiffProv {
+        max_rounds: 1, // SDN4 needs two
+        ..Default::default()
+    };
     let report = dp
         .diagnose(&s.good_exec, &s.good_event, &s.bad_exec, &s.bad_event)
         .unwrap();

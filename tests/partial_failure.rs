@@ -75,8 +75,10 @@ fn stale_dns_record_is_pinpointed_across_nodes() {
         TupleRef::new("dnsA", answer(2, "www.example.org", stale)),
         u64::MAX,
     );
-    let mut dp = DiffProv::default();
-    dp.map_seed_nodes = true;
+    let dp = DiffProv {
+        map_seed_nodes: true,
+        ..Default::default()
+    };
     let report = dp.diagnose(&exec, &good, &exec, &bad).unwrap();
     assert!(report.succeeded(), "{report}");
     assert_eq!(report.delta.len(), 1, "{report}");
@@ -129,8 +131,10 @@ fn each_partial_failure_instance_diagnoses_independently() {
         TupleRef::new("dnsB", answer(3, "www.example.org", stale)),
         u64::MAX,
     );
-    let mut dp = DiffProv::default();
-    dp.map_seed_nodes = true;
+    let dp = DiffProv {
+        map_seed_nodes: true,
+        ..Default::default()
+    };
     let report = dp.diagnose(&exec, &good, &exec, &bad_b).unwrap();
     assert!(report.succeeded(), "{report}");
     assert_eq!(report.delta[0].node, NodeId::new("dnsB"));

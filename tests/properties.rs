@@ -1,66 +1,93 @@
-//! Property-based tests on the core data structures and invariants,
+//! Randomized property tests on the core data structures and invariants,
 //! spanning crates.
-
-use proptest::prelude::*;
+//!
+//! The workspace builds offline, so these use the in-repo [`DetRng`]
+//! generator with fixed seeds instead of a property-testing framework:
+//! each test is an exhaustive seeded sweep, fully reproducible.
 
 use diffprov::core::Formula;
 use diffprov::ndlog::{BinOp, Engine, Env, Expr, NullSink, Program};
 use diffprov::types::prefix::Prefix;
 use diffprov::types::{
-    tuple, FieldType, NodeId, Schema, SchemaRegistry, Sym, TableKind, Value,
+    tuple, DetRng, FieldType, NodeId, Schema, SchemaRegistry, Sym, TableKind, Value,
 };
 use std::sync::Arc;
 
-fn arb_prefix() -> impl Strategy<Value = Prefix> {
-    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Prefix::new(addr, len).unwrap())
+fn arb_prefix(rng: &mut DetRng) -> Prefix {
+    let addr = rng.next_u32();
+    let len = rng.gen_range_usize(0, 33) as u8;
+    Prefix::new(addr, len).unwrap()
 }
 
-proptest! {
-    /// Widening always yields a prefix that contains both the original
-    /// base address and the target, and never narrows.
-    #[test]
-    fn widen_contains_both(p in arb_prefix(), ip in any::<u32>()) {
+/// Widening always yields a prefix that contains both the original base
+/// address and the target, and never narrows.
+#[test]
+fn widen_contains_both() {
+    let mut rng = DetRng::seed_from_u64(0xD1FF_0001);
+    for _ in 0..2000 {
+        let p = arb_prefix(&mut rng);
+        let ip = rng.next_u32();
         let w = p.widen_to_contain(ip);
-        prop_assert!(w.contains(ip));
-        prop_assert!(w.contains(p.addr()));
-        prop_assert!(w.len() <= p.len());
-        prop_assert!(w.covers(&p));
+        assert!(w.contains(ip), "{w} !contains {ip}");
+        assert!(w.contains(p.addr()));
+        assert!(w.len() <= p.len());
+        assert!(w.covers(&p));
     }
+}
 
-    /// Widening is minimal: one more bit of length would exclude the
-    /// target (when the prefix had to change at all).
-    #[test]
-    fn widen_is_minimal(p in arb_prefix(), ip in any::<u32>()) {
+/// Widening is minimal: one more bit of length would exclude the target
+/// (when the prefix had to change at all).
+#[test]
+fn widen_is_minimal() {
+    let mut rng = DetRng::seed_from_u64(0xD1FF_0002);
+    for _ in 0..2000 {
+        let p = arb_prefix(&mut rng);
+        let ip = rng.next_u32();
         let w = p.widen_to_contain(ip);
         if w != p && w.len() < 32 {
             let narrower = Prefix::new(w.addr(), w.len() + 1).unwrap();
-            prop_assert!(!(narrower.contains(ip) && narrower.contains(p.addr())));
+            assert!(!(narrower.contains(ip) && narrower.contains(p.addr())));
         }
     }
+}
 
-    /// Narrowing excludes the target, keeps the base, and never widens.
-    #[test]
-    fn narrow_excludes_target(p in arb_prefix(), ip in any::<u32>()) {
+/// Narrowing excludes the target, keeps the base, and never widens.
+#[test]
+fn narrow_excludes_target() {
+    let mut rng = DetRng::seed_from_u64(0xD1FF_0003);
+    for _ in 0..2000 {
+        let p = arb_prefix(&mut rng);
+        let ip = rng.next_u32();
         if let Some(n) = p.narrow_to_exclude(ip) {
-            prop_assert!(!n.contains(ip));
-            prop_assert!(n.contains(p.addr()));
-            prop_assert!(n.len() > p.len());
-            prop_assert!(p.covers(&n));
+            assert!(!n.contains(ip));
+            assert!(n.contains(p.addr()));
+            assert!(n.len() > p.len());
+            assert!(p.covers(&n));
         }
     }
+}
 
-    /// Prefix parse/display round-trips.
-    #[test]
-    fn prefix_display_roundtrips(p in arb_prefix()) {
+/// Prefix parse/display round-trips.
+#[test]
+fn prefix_display_roundtrips() {
+    let mut rng = DetRng::seed_from_u64(0xD1FF_0004);
+    for _ in 0..2000 {
+        let p = arb_prefix(&mut rng);
         let s = p.to_string();
         let q: Prefix = s.parse().unwrap();
-        prop_assert_eq!(p, q);
+        assert_eq!(p, q);
     }
+}
 
-    /// Affine expressions invert exactly: solving `a*x + b == y` for the
-    /// value produced by any x recovers x.
-    #[test]
-    fn affine_inversion_roundtrips(a in 1i64..1000, b in -1000i64..1000, x in -10_000i64..10_000) {
+/// Affine expressions invert exactly: solving `a*x + b == y` for the value
+/// produced by any x recovers x.
+#[test]
+fn affine_inversion_roundtrips() {
+    let mut rng = DetRng::seed_from_u64(0xD1FF_0005);
+    for _ in 0..500 {
+        let a = rng.gen_range_i64(1, 1000);
+        let b = rng.gen_range_i64(-1000, 1000);
+        let x = rng.gen_range_i64(-10_000, 10_000);
         let expr = Expr::bin(
             BinOp::Add,
             Expr::bin(BinOp::Mul, Expr::val(a), Expr::var("x")),
@@ -70,32 +97,41 @@ proptest! {
         env.insert(Sym::new("x"), Value::Int(x));
         let y = expr.eval(&env).unwrap();
         let solved = expr.invert(&y, &Env::new()).unwrap();
-        prop_assert_eq!(solved, vec![(Sym::new("x"), Value::Int(x))]);
+        assert_eq!(solved, vec![(Sym::new("x"), Value::Int(x))]);
     }
+}
 
-    /// XOR inversion round-trips.
-    #[test]
-    fn xor_inversion_roundtrips(k in any::<i64>(), x in any::<i64>()) {
+/// XOR inversion round-trips.
+#[test]
+fn xor_inversion_roundtrips() {
+    let mut rng = DetRng::seed_from_u64(0xD1FF_0006);
+    for _ in 0..500 {
+        let k = rng.next_u64() as i64;
+        let x = rng.next_u64() as i64;
         let expr = Expr::bin(BinOp::BitXor, Expr::var("x"), Expr::val(k));
         let mut env = Env::new();
         env.insert(Sym::new("x"), Value::Int(x));
         let y = expr.eval(&env).unwrap();
         let solved = expr.invert(&y, &Env::new()).unwrap();
-        prop_assert_eq!(solved, vec![(Sym::new("x"), Value::Int(x))]);
+        assert_eq!(solved, vec![(Sym::new("x"), Value::Int(x))]);
     }
+}
 
-    /// Taint formulae: applying a formula built from the good seed to the
-    /// good seed reproduces the good value (the identity the alignment
-    /// relies on).
-    #[test]
-    fn formula_identity_on_good_seed(vals in proptest::collection::vec(-1000i64..1000, 1..6)) {
+/// Taint formulae: applying a formula built from the good seed to the good
+/// seed reproduces the good value (the identity the alignment relies on).
+#[test]
+fn formula_identity_on_good_seed() {
+    let mut rng = DetRng::seed_from_u64(0xD1FF_0007);
+    for _ in 0..500 {
+        let n = rng.gen_range_usize(1, 6);
+        let vals: Vec<i64> = (0..n).map(|_| rng.gen_range_i64(-1000, 1000)).collect();
         let seed = diffprov::types::Tuple::new(
             "s",
             vals.iter().map(|&v| Value::Int(v)).collect::<Vec<_>>(),
         );
         for (i, &v) in vals.iter().enumerate() {
             let f = Formula::seed_field(i);
-            prop_assert_eq!(f.apply(&seed).unwrap(), Value::Int(v));
+            assert_eq!(f.apply(&seed).unwrap(), Value::Int(v));
         }
     }
 }
@@ -112,17 +148,19 @@ fn chain_program() -> Arc<Program> {
         .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Engine determinism under arbitrary insertion batches: two runs over
-    /// the same inputs produce identical derivation counts and identical
-    /// final state.
-    #[test]
-    fn engine_is_deterministic(
-        inputs in proptest::collection::vec((0u64..100, -50i64..50), 1..40),
-        ks in proptest::collection::vec(-5i64..5, 1..4),
-    ) {
+/// Engine determinism under arbitrary insertion batches: two runs over the
+/// same inputs produce identical derivation counts and identical final
+/// state.
+#[test]
+fn engine_is_deterministic() {
+    let mut rng = DetRng::seed_from_u64(0xD1FF_0008);
+    for _ in 0..32 {
+        let inputs: Vec<(u64, i64)> = (0..rng.gen_range_usize(1, 40))
+            .map(|_| (rng.gen_range_u64(0, 100), rng.gen_range_i64(-50, 50)))
+            .collect();
+        let ks: Vec<i64> = (0..rng.gen_range_usize(1, 4))
+            .map(|_| rng.gen_range_i64(-5, 5))
+            .collect();
         let run = || {
             let mut eng = Engine::new(chain_program(), NullSink);
             let n = NodeId::new("n");
@@ -136,22 +174,30 @@ proptest! {
             let stats = eng.stats();
             let derived: Vec<_> = eng
                 .nodes()
-                .flat_map(|(_, st)| st.table(&Sym::new("d")).map(|(t, _)| t.clone()).collect::<Vec<_>>())
+                .flat_map(|(_, st)| {
+                    st.table(&Sym::new("d")).map(|(t, _)| t.clone()).collect::<Vec<_>>()
+                })
                 .collect();
             (stats.derivations, derived)
         };
         let a = run();
         let b = run();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// Support counting: deleting every mutable k-tuple removes every
-    /// derived tuple (no leaks, no dangling support).
-    #[test]
-    fn deletion_drains_derived_state(
-        inputs in proptest::collection::vec(-50i64..50, 1..20),
-        ks in proptest::collection::vec(-5i64..5, 1..4),
-    ) {
+/// Support counting: deleting every mutable k-tuple removes every derived
+/// tuple (no leaks, no dangling support).
+#[test]
+fn deletion_drains_derived_state() {
+    let mut rng = DetRng::seed_from_u64(0xD1FF_0009);
+    for _ in 0..32 {
+        let inputs: Vec<i64> = (0..rng.gen_range_usize(1, 20))
+            .map(|_| rng.gen_range_i64(-50, 50))
+            .collect();
+        let ks: Vec<i64> = (0..rng.gen_range_usize(1, 4))
+            .map(|_| rng.gen_range_i64(-5, 5))
+            .collect();
         let mut eng = Engine::new(chain_program(), NullSink);
         let n = NodeId::new("n");
         for &kv in &ks {
@@ -169,6 +215,6 @@ proptest! {
             .nodes()
             .flat_map(|(_, st)| st.table(&Sym::new("d")).collect::<Vec<_>>())
             .count();
-        prop_assert_eq!(remaining, 0);
+        assert_eq!(remaining, 0);
     }
 }
