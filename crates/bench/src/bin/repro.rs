@@ -261,26 +261,43 @@ fn run_mrstorage() {
 }
 
 fn run_enginebench() {
-    banner("Engine: hash-indexed vs. naive joins (campus, 100k+ entries)");
+    banner("Engine: joins and firing disciplines (campus, 100k+ entries)");
     let b = engine_bench::engine_bench(100_000, 20).expect("benchmark runs");
     println!(
         "  {} entries, {} background packets, {} events",
         b.entries, b.background_packets, b.events
     );
     println!(
-        "  indexed {:.3}s vs naive {:.3}s -> {:.1}x speedup, {:.0} tuples/s",
+        "  batched {:.3}s vs streamed {:.3}s vs naive {:.3}s -> {:.2}x batch, {:.1}x total, {:.0} tuples/s",
         b.indexed_secs,
+        b.unbatched_secs,
         b.naive_secs,
+        b.batch_speedup(),
         b.speedup(),
         b.tuples_per_sec()
     );
     println!(
-        "  probes {} / scans {} (hit rate {:.1}%), peak tuples {}, streams identical: {}",
+        "  probes {} / scans {} (hit rate {:.1}%), {} deltas in {} batches, peak tuples {}, streams identical: {}",
         b.join_probes,
         b.join_scans,
         b.index_hit_rate * 100.0,
+        b.batched_deltas,
+        b.batches,
         b.peak_tuples,
         b.streams_identical
+    );
+    banner("Engine: bulk configuration load (the batched firing path)");
+    let l = engine_bench::load_bench(100_000).expect("load bench runs");
+    println!(
+        "  {} entries, no traffic: batched {:.3}s vs streamed {:.3}s -> {:.2}x",
+        l.entries,
+        l.batched_secs,
+        l.streamed_secs,
+        l.batch_speedup()
+    );
+    println!(
+        "  join steps run: batched {} vs streamed {}, streams identical: {}",
+        l.batched_steps, l.streamed_steps, l.streams_identical
     );
     banner("Engine: FIB-lookup equality join (the indexed access path)");
     let f = engine_bench::fib_bench(100_000, 200).expect("fib bench runs");
@@ -296,7 +313,7 @@ fn run_enginebench() {
         "  join candidates examined: indexed {} vs naive {}, streams identical: {}",
         f.indexed_candidates, f.naive_candidates, f.streams_identical
     );
-    println!("  checking indexed-vs-naive parity on all scenarios...");
+    println!("  checking cross-mode parity on all scenarios...");
     let parity = engine_bench::scenario_parity().expect("parity runs");
     for p in &parity {
         println!(
@@ -304,12 +321,15 @@ fn run_enginebench() {
             p.name, p.good_vertexes, p.bad_vertexes, p.identical
         );
     }
-    let json = engine_bench::to_json(&b, &f, &parity);
+    let json = engine_bench::to_json(&b, &l, &f, &parity);
     std::fs::write("BENCH_engine.json", &json).expect("BENCH_engine.json is writable");
     println!("  wrote BENCH_engine.json");
     assert!(
-        b.streams_identical && f.streams_identical && parity.iter().all(|p| p.identical),
-        "indexed and naive joins disagree"
+        b.streams_identical
+            && l.streams_identical
+            && f.streams_identical
+            && parity.iter().all(|p| p.identical),
+        "engine modes disagree"
     );
 }
 

@@ -1,6 +1,6 @@
 //! Engine throughput benchmark: hash-indexed vs. naive nested-loop joins
-//! on the §6.7 campus workload, plus indexed-vs-naive parity checks on
-//! every scenario.
+//! and batched vs. tuple-at-a-time rule firing on the §6.7 campus
+//! workload, plus cross-mode parity checks on every scenario.
 //!
 //! The results are written to `BENCH_engine.json` by `repro -- enginebench`
 //! so the engine's perf trajectory is machine-readable across revisions.
@@ -20,59 +20,81 @@ pub struct EngineBenchResult {
     pub entries: usize,
     /// Background packets streamed through the network.
     pub background_packets: usize,
-    /// Wall time of the indexed replay (seconds).
+    /// Wall time of the batched indexed replay (seconds) — the default
+    /// engine configuration.
     pub indexed_secs: f64,
-    /// Wall time of the naive nested-loop replay (seconds).
+    /// Wall time of the indexed replay with tuple-at-a-time firing
+    /// (seconds).
+    pub unbatched_secs: f64,
+    /// Wall time of the naive nested-loop, tuple-at-a-time replay
+    /// (seconds).
     pub naive_secs: f64,
-    /// Events processed during the replay (identical in both modes).
+    /// Events processed during the replay (identical in all modes).
     pub events: u64,
-    /// Join steps answered by an index probe (indexed run).
+    /// Join steps answered by an index probe (batched indexed run).
     pub join_probes: u64,
-    /// Join steps that fell back to a table scan (indexed run).
+    /// Join steps that fell back to a table scan (batched indexed run).
     pub join_scans: u64,
-    /// Fraction of join steps answered by a probe (indexed run).
+    /// Fraction of join steps answered by a probe (batched indexed run).
     pub index_hit_rate: f64,
+    /// Delta batches flushed by the batched run.
+    pub batches: u64,
+    /// Deltas fired through those batches.
+    pub batched_deltas: u64,
     /// High-water mark of live tuples across all nodes.
     pub peak_tuples: u64,
-    /// Whether the two runs emitted byte-identical provenance streams.
+    /// Whether all three runs emitted byte-identical provenance streams.
     pub streams_identical: bool,
 }
 
 impl EngineBenchResult {
-    /// Naive time over indexed time.
+    /// Naive time over batched indexed time.
     pub fn speedup(&self) -> f64 {
         self.naive_secs / self.indexed_secs.max(1e-12)
     }
 
-    /// Engine throughput of the indexed run, in events per second.
+    /// Tuple-at-a-time indexed time over batched indexed time — what
+    /// delta batching alone buys on top of indexed joins.
+    pub fn batch_speedup(&self) -> f64 {
+        self.unbatched_secs / self.indexed_secs.max(1e-12)
+    }
+
+    /// Engine throughput of the batched indexed run, in events per second.
     pub fn tuples_per_sec(&self) -> f64 {
         self.events as f64 / self.indexed_secs.max(1e-12)
     }
 }
 
-/// Indexed-vs-naive agreement on one scenario: vertex counts of the good
-/// and bad provenance trees (the Table 1 inputs) and stream equality.
+/// Cross-mode agreement on one scenario: vertex counts of the good and
+/// bad provenance trees (the Table 1 inputs) and stream equality.
 #[derive(Clone, Debug)]
 pub struct ScenarioParity {
     /// Scenario name ("SDN1", ..., "MR2-I", "campus").
     pub name: String,
-    /// Good-tree vertex count (identical in both modes or the run fails).
+    /// Good-tree vertex count (identical in every mode or the run fails).
     pub good_vertexes: usize,
     /// Bad-tree vertex count.
     pub bad_vertexes: usize,
-    /// Whether indexed and naive replays emitted identical event streams
-    /// and identical tree sizes, for both the good and the bad execution.
+    /// Whether batched-indexed, unbatched-indexed, and naive replays
+    /// emitted identical event streams and identical tree sizes, for both
+    /// the good and the bad execution.
     pub identical: bool,
 }
 
 /// Replays `exec` into a buffering sink, timing only the evaluation loop.
 /// Runs `runs` times and reports the best time (the shared machines the
 /// benchmark runs on are noisy; the minimum is the least-perturbed run).
-fn timed_replay(exec: &Execution, naive: bool, runs: usize) -> Result<(Engine<VecSink>, f64)> {
+fn timed_replay(
+    exec: &Execution,
+    naive: bool,
+    unbatched: bool,
+    runs: usize,
+) -> Result<(Engine<VecSink>, f64)> {
     let mut best: Option<(Engine<VecSink>, f64)> = None;
     for _ in 0..runs.max(1) {
         let mut eng = Engine::new(Arc::clone(&exec.program), VecSink::default());
         eng.set_naive_join(naive);
+        eng.set_unbatched(unbatched);
         exec.log.schedule_into(&mut eng, None)?;
         let t = Instant::now();
         eng.run()?;
@@ -103,21 +125,88 @@ pub fn engine_bench(min_entries: usize, background_packets: usize) -> Result<Eng
     let c = campus(&cfg);
     let exec = &c.scenario.bad_exec;
 
-    let (indexed, indexed_secs) = timed_replay(exec, false, 3)?;
-    let (naive, naive_secs) = timed_replay(exec, true, 3)?;
-    let streams_identical = indexed.sink().events == naive.sink().events;
+    // One untimed warmup so the first timed leg doesn't pay the cold
+    // page-cache / allocator penalty the later legs inherit for free.
+    timed_replay(exec, false, false, 1)?;
+    let (indexed, indexed_secs) = timed_replay(exec, false, false, 5)?;
+    let (unbatched, unbatched_secs) = timed_replay(exec, false, true, 5)?;
+    let (naive, naive_secs) = timed_replay(exec, true, true, 5)?;
+    let streams_identical = indexed.sink().events == unbatched.sink().events
+        && indexed.sink().events == naive.sink().events;
     let stats = indexed.stats();
     Ok(EngineBenchResult {
         entries: c.entry_count,
         background_packets,
         indexed_secs,
+        unbatched_secs,
         naive_secs,
         events: stats.events,
         join_probes: stats.join_probes,
         join_scans: stats.join_scans,
         index_hit_rate: stats.index_hit_rate(),
+        batches: stats.batches,
+        batched_deltas: stats.batched_deltas,
         peak_tuples: stats.peak_tuples,
         streams_identical,
+    })
+}
+
+/// Result of the bulk-load benchmark: the campus configuration push with
+/// no traffic, the workload delta batching targets.
+#[derive(Clone, Debug)]
+pub struct LoadBenchResult {
+    /// Forwarding/ACL entries pushed.
+    pub entries: usize,
+    /// Wall time with delta batching (seconds).
+    pub batched_secs: f64,
+    /// Wall time with tuple-at-a-time firing (seconds).
+    pub streamed_secs: f64,
+    /// Join steps run by the batched engine (pruned groups excluded).
+    pub batched_steps: u64,
+    /// Join steps run by the streaming engine.
+    pub streamed_steps: u64,
+    /// Whether both runs emitted byte-identical provenance streams.
+    pub streams_identical: bool,
+}
+
+impl LoadBenchResult {
+    /// Streamed time over batched time.
+    pub fn batch_speedup(&self) -> f64 {
+        self.streamed_secs / self.batched_secs.max(1e-12)
+    }
+}
+
+/// The firing-discipline benchmark: the campus configuration push (100 k+
+/// `cfgEntry` inserts at one timestamp, and the 100 k+ `flowEntry`
+/// derivations they trigger) with no packet traffic.
+///
+/// The end-to-end campus replay is dominated by the `fwd` rule's
+/// longest-prefix scans, which cost the same under either discipline, so
+/// it bounds the batching gap near 1x. This benchmark isolates the phase
+/// batching targets: during the load, every delta's only rule has an
+/// empty partner table (the switches' `switchUp`/`pktAt` tables fill
+/// later), so the batched flush prunes whole delta groups where the
+/// streaming engine attempts a trigger match and a doomed join per tuple.
+pub fn load_bench(min_entries: usize) -> Result<LoadBenchResult> {
+    let per_bulk = 16 * 15;
+    let cfg = CampusConfig {
+        bulk_entries_per_router: min_entries / per_bulk + 1,
+        background_packets: 0,
+        ..Default::default()
+    };
+    let c = campus(&cfg);
+    let exec = &c.scenario.bad_exec;
+
+    timed_replay(exec, false, false, 1)?; // warmup, untimed
+    let (batched, batched_secs) = timed_replay(exec, false, false, 5)?;
+    let (streamed, streamed_secs) = timed_replay(exec, false, true, 5)?;
+    Ok(LoadBenchResult {
+        entries: c.entry_count,
+        batched_secs,
+        streamed_secs,
+        batched_steps: batched.stats().join_probes + batched.stats().join_scans,
+        streamed_steps: streamed.stats().join_probes + streamed.stats().join_scans,
+        streams_identical: batched.sink().events == streamed.sink().events,
     })
 }
 
@@ -230,8 +319,8 @@ pub fn fib_bench(min_entries: usize, queries: usize) -> Result<FibBenchResult> {
         );
     }
 
-    let (indexed, indexed_secs) = timed_replay(&exec, false, 3)?;
-    let (naive, naive_secs) = timed_replay(&exec, true, 3)?;
+    let (indexed, indexed_secs) = timed_replay(&exec, false, false, 3)?;
+    let (naive, naive_secs) = timed_replay(&exec, true, false, 3)?;
     Ok(FibBenchResult {
         entries: entries.len(),
         queries,
@@ -243,39 +332,50 @@ pub fn fib_bench(min_entries: usize, queries: usize) -> Result<FibBenchResult> {
     })
 }
 
-/// Replays one execution in both modes and checks stream equality.
+/// Replays one execution in all three engine configurations — batched
+/// indexed (the default), tuple-at-a-time indexed, and tuple-at-a-time
+/// naive — and checks stream equality across the lot.
 fn exec_parity(exec: &Execution) -> Result<bool> {
-    let (indexed, _) = timed_replay(exec, false, 1)?;
-    let (naive, _) = timed_replay(exec, true, 1)?;
-    Ok(indexed.sink().events == naive.sink().events)
+    let (indexed, _) = timed_replay(exec, false, false, 1)?;
+    let (unbatched, _) = timed_replay(exec, false, true, 1)?;
+    let (naive, _) = timed_replay(exec, true, true, 1)?;
+    Ok(indexed.sink().events == unbatched.sink().events
+        && indexed.sink().events == naive.sink().events)
 }
 
-/// Tree vertex count for an event, replayed with the given join mode.
+/// Tree vertex count for an event, replayed with the given join mode and
+/// firing discipline.
 fn tree_len(
     exec: &Execution,
     event: &diffprov_core::QueryEvent,
     naive: bool,
+    unbatched: bool,
 ) -> Result<Option<usize>> {
     let mut exec = exec.clone();
     exec.naive_join = naive;
+    exec.unbatched = unbatched;
     let replayed = exec.replay()?;
     Ok(replayed.query_at(&event.tref, event.at).map(|t| t.len()))
 }
 
 /// Checks every scenario (the 8 Table 1 queries plus the campus network)
-/// for indexed-vs-naive agreement.
+/// for agreement across join modes and firing disciplines.
 pub fn scenario_parity() -> Result<Vec<ScenarioParity>> {
     let mut scenarios: Vec<diffprov_core::Scenario> = dp_sdn::all_sdn_scenarios();
     scenarios.extend(dp_mapreduce::all_mr_scenarios());
     scenarios.push(campus(&CampusConfig::default()).scenario);
     let mut out = Vec::new();
     for s in &scenarios {
-        let good_i = tree_len(&s.good_exec, &s.good_event, false)?;
-        let good_n = tree_len(&s.good_exec, &s.good_event, true)?;
-        let bad_i = tree_len(&s.bad_exec, &s.bad_event, false)?;
-        let bad_n = tree_len(&s.bad_exec, &s.bad_event, true)?;
+        let good_i = tree_len(&s.good_exec, &s.good_event, false, false)?;
+        let good_n = tree_len(&s.good_exec, &s.good_event, true, true)?;
+        let good_u = tree_len(&s.good_exec, &s.good_event, false, true)?;
+        let bad_i = tree_len(&s.bad_exec, &s.bad_event, false, false)?;
+        let bad_n = tree_len(&s.bad_exec, &s.bad_event, true, true)?;
+        let bad_u = tree_len(&s.bad_exec, &s.bad_event, false, true)?;
         let identical = good_i == good_n
+            && good_i == good_u
             && bad_i == bad_n
+            && bad_i == bad_u
             && exec_parity(&s.good_exec)?
             && exec_parity(&s.bad_exec)?;
         out.push(ScenarioParity {
@@ -292,6 +392,7 @@ pub fn scenario_parity() -> Result<Vec<ScenarioParity>> {
 /// workspace builds offline, without serde).
 pub fn to_json(
     bench: &EngineBenchResult,
+    load: &LoadBenchResult,
     fib: &FibBenchResult,
     parity: &[ScenarioParity],
 ) -> String {
@@ -303,8 +404,21 @@ pub fn to_json(
         bench.background_packets
     ));
     s.push_str(&format!("    \"indexed_secs\": {:.6},\n", bench.indexed_secs));
+    s.push_str(&format!(
+        "    \"unbatched_secs\": {:.6},\n",
+        bench.unbatched_secs
+    ));
     s.push_str(&format!("    \"naive_secs\": {:.6},\n", bench.naive_secs));
     s.push_str(&format!("    \"speedup\": {:.2},\n", bench.speedup()));
+    s.push_str(&format!(
+        "    \"batch_speedup\": {:.2},\n",
+        bench.batch_speedup()
+    ));
+    s.push_str(&format!("    \"batches\": {},\n", bench.batches));
+    s.push_str(&format!(
+        "    \"batched_deltas\": {},\n",
+        bench.batched_deltas
+    ));
     s.push_str(&format!("    \"events\": {},\n", bench.events));
     s.push_str(&format!(
         "    \"tuples_per_sec\": {:.0},\n",
@@ -320,6 +434,26 @@ pub fn to_json(
     s.push_str(&format!(
         "    \"streams_identical\": {}\n  }},\n",
         bench.streams_identical
+    ));
+    s.push_str("  \"bulk_load\": {\n");
+    s.push_str(&format!("    \"entries\": {},\n", load.entries));
+    s.push_str(&format!("    \"batched_secs\": {:.6},\n", load.batched_secs));
+    s.push_str(&format!(
+        "    \"streamed_secs\": {:.6},\n",
+        load.streamed_secs
+    ));
+    s.push_str(&format!(
+        "    \"batch_speedup\": {:.2},\n",
+        load.batch_speedup()
+    ));
+    s.push_str(&format!("    \"batched_steps\": {},\n", load.batched_steps));
+    s.push_str(&format!(
+        "    \"streamed_steps\": {},\n",
+        load.streamed_steps
+    ));
+    s.push_str(&format!(
+        "    \"streams_identical\": {}\n  }},\n",
+        load.streams_identical
     ));
     s.push_str("  \"fib_lookup\": {\n");
     s.push_str(&format!("    \"entries\": {},\n", fib.entries));
@@ -366,6 +500,8 @@ mod tests {
         assert!(b.entries >= 2_000);
         assert!(b.streams_identical);
         assert!(b.join_probes > 0);
+        assert!(b.batches > 0, "the default run must batch");
+        assert!(b.batched_deltas >= b.batches);
         let f = fib_bench(2_000, 20).expect("fib bench runs");
         assert!(f.entries >= 2_000);
         assert!(f.streams_identical);
@@ -375,9 +511,20 @@ mod tests {
             f.naive_candidates,
             f.indexed_candidates
         );
-        let json = to_json(&b, &f, &[]);
+        let l = load_bench(2_000).expect("load bench runs");
+        assert!(l.entries >= 2_000);
+        assert!(l.streams_identical);
+        assert!(
+            l.batched_steps < l.streamed_steps,
+            "pruning must cut join steps: batched {} vs streamed {}",
+            l.batched_steps,
+            l.streamed_steps
+        );
+        let json = to_json(&b, &l, &f, &[]);
         assert!(json.contains("\"streams_identical\": true"));
         assert!(json.contains("\"fib_lookup\""));
         assert!(json.contains("\"entries\""));
+        assert!(json.contains("\"unbatched_secs\""));
+        assert!(json.contains("\"batch_speedup\""));
     }
 }

@@ -32,6 +32,38 @@
 //! constant), so the indexed join schedules byte-identical event streams.
 //! The naive path is kept behind [`Engine::set_naive_join`] as the
 //! reference for differential tests and before/after benchmarks.
+//!
+//! # Semi-naive delta batching
+//!
+//! By default the engine does not fire rules tuple-at-a-time. Deltas that
+//! share a scheduled timestamp (`due`) are applied to the tables first —
+//! one event at a time, so base provenance events and logical clocks are
+//! unchanged — and accumulate per (node, table) as the *delta relation* of
+//! classic semi-naive evaluation. At the batch boundary (the next queued
+//! event has a different `due`, or a deletion arrives) each triggered rule
+//! is evaluated once per delta group: the batch supplies the trigger
+//! tuples, the indexed tables supply the rest. Because all of a batch's
+//! tuples are already inserted when the joins run, each join carries an
+//! `as_of` horizon — a body tuple qualifies only if it appeared no later
+//! than the delta being fired (`TupleState::appeared_at <= as_of`) — which
+//! reproduces exactly the state each tuple-at-a-time firing would have
+//! seen. Scheduled actions are buffered per delta and released in arrival
+//! order, so the queue (and hence every downstream timestamp) evolves
+//! byte-identically to the unbatched path. Deletions flush the pending
+//! batch before they cascade, keeping "in-flight" semantics intact.
+//!
+//! Because tables only ever grow within a batch (deletions flush first),
+//! the flush can prune a whole delta group for a rule whose partner table
+//! is empty — the join could not have completed for any delta — which is
+//! where batching beats the reference path on bulk loads: the 100 k-entry
+//! campus configuration push runs its doomed trigger joins zero times
+//! instead of once per tuple.
+//!
+//! The tuple-at-a-time path remains available behind
+//! [`Engine::set_unbatched`] (or the `DP_UNBATCHED=1` environment toggle,
+//! which flips the default for a whole test run) as the reference
+//! implementation for differential tests and benchmarks; batching
+//! amortizes trigger dispatch, join scratch space, and sink writes.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
@@ -92,6 +124,12 @@ struct Table {
     specs: IndexSpecs,
     tuples: BTreeMap<Arc<Tuple>, TupleState>,
     indexes: Vec<HashMap<Vec<Value>, BTreeSet<Arc<Tuple>>>>,
+    /// Clock of the most recent appearance in this table. Lets `as_of`-
+    /// horizon probes (see the module docs on batching) skip the per-
+    /// candidate `appeared_at` check entirely whenever nothing in the
+    /// table is newer than the horizon — the common case, since only
+    /// same-batch insertions into a probed table can be "too new".
+    last_appear: LogicalTime,
 }
 
 /// The values of `cols` in `tuple`, or `None` if any column is out of
@@ -107,11 +145,13 @@ impl Table {
             specs,
             tuples: BTreeMap::new(),
             indexes,
+            last_appear: 0,
         }
     }
 
-    fn insert(&mut self, tuple: &Arc<Tuple>) -> &mut TupleState {
+    fn insert(&mut self, tuple: &Arc<Tuple>, now: LogicalTime) -> &mut TupleState {
         if !self.tuples.contains_key(&**tuple) {
+            self.last_appear = self.last_appear.max(now);
             for (slot, cols) in self.specs.iter().enumerate() {
                 if let Some(key) = index_key(tuple, cols) {
                     self.indexes[slot]
@@ -203,29 +243,65 @@ impl NodeState {
         self.tables.values().all(|t| t.tuples.is_empty())
     }
 
-    fn table_arcs(&self, table: &Sym) -> impl Iterator<Item = &Arc<Tuple>> {
+    /// True when the node holds no live tuples of `table` at all.
+    fn table_empty(&self, table: &Sym) -> bool {
+        self.tables.get(table).is_none_or(|t| t.tuples.is_empty())
+    }
+
+    /// Live tuples of `table` that appeared no later than `as_of`, in
+    /// tuple order. `LogicalTime::MAX` sees everything.
+    fn table_arcs(
+        &self,
+        table: &Sym,
+        as_of: LogicalTime,
+    ) -> impl Iterator<Item = &Arc<Tuple>> {
         self.tables
             .get(table)
             .into_iter()
-            .flat_map(|t| t.tuples.keys())
+            .flat_map(|t| t.tuples.iter())
+            .filter(move |(_, s)| s.appeared_at <= as_of)
+            .map(|(k, _)| k)
     }
 
-    /// Live tuples of `table` whose `specs[slot]` columns equal `key`, in
-    /// tuple order.
-    fn probe(&self, table: &Sym, slot: usize, key: &[Value]) -> impl Iterator<Item = &Arc<Tuple>> {
-        self.tables
-            .get(table)
+    /// Live tuples of `table` whose `specs[slot]` columns equal `key` and
+    /// which appeared no later than `as_of`, in tuple order. The index
+    /// buckets hold only tuple keys, so the `appeared_at` check needs a
+    /// map lookup per candidate — `Table::last_appear` gates it so the
+    /// lookup only happens when the table actually holds something newer
+    /// than the horizon.
+    fn probe(
+        &self,
+        table: &Sym,
+        slot: usize,
+        key: &[Value],
+        as_of: LogicalTime,
+    ) -> impl Iterator<Item = &Arc<Tuple>> {
+        let table = self.tables.get(table);
+        let horizon = table.filter(|t| t.last_appear > as_of);
+        table
             .and_then(|t| t.indexes.get(slot))
             .and_then(|ix| ix.get(key))
             .into_iter()
             .flatten()
+            .filter(move |c| match horizon {
+                None => true,
+                Some(t) => t
+                    .tuples
+                    .get(c.as_ref())
+                    .is_some_and(|s| s.appeared_at <= as_of),
+            })
     }
 
-    fn entry(&mut self, tuple: &Arc<Tuple>, specs: Option<&IndexSpecs>) -> &mut TupleState {
+    fn entry(
+        &mut self,
+        tuple: &Arc<Tuple>,
+        specs: Option<&IndexSpecs>,
+        now: LogicalTime,
+    ) -> &mut TupleState {
         self.tables
             .entry(tuple.table.clone())
             .or_insert_with(|| Table::with_specs(specs.cloned().unwrap_or_default()))
-            .insert(tuple)
+            .insert(tuple, now)
     }
 
     fn get_mut(&mut self, tuple: &Tuple) -> Option<&mut TupleState> {
@@ -253,26 +329,38 @@ impl NodeState {
 
 /// A read-only view of one node's tables, handed to native rules and
 /// stateful builtins.
+///
+/// The view carries the `as_of` horizon of the firing it serves: when the
+/// engine evaluates a batched delta, tuples that appeared later in the
+/// same batch are hidden so natives and builtins observe exactly the
+/// state the tuple-at-a-time reference path would have shown them.
 pub struct NodeView<'a> {
     /// The node being viewed.
     pub node: &'a NodeId,
     state: &'a NodeState,
+    as_of: LogicalTime,
 }
 
 impl<'a> NodeView<'a> {
     /// Live tuples of `table` on this node.
     pub fn table(&self, table: &Sym) -> impl Iterator<Item = &'a Tuple> + 'a {
-        self.state.table(table).map(|(t, _)| t)
+        let as_of = self.as_of;
+        self.state
+            .table(table)
+            .filter(move |(_, s)| s.appeared_at <= as_of)
+            .map(|(t, _)| t)
     }
 
     /// True if `tuple` is currently present on this node.
     pub fn contains(&self, tuple: &Tuple) -> bool {
-        self.state.contains(tuple)
+        self.get(tuple).is_some()
     }
 
     /// The state record of `tuple`, if present.
     pub fn get(&self, tuple: &Tuple) -> Option<&'a TupleState> {
-        self.state.get(tuple)
+        self.state
+            .get(tuple)
+            .filter(|s| s.appeared_at <= self.as_of)
     }
 }
 
@@ -357,6 +445,10 @@ pub struct Stats {
     pub join_matches: u64,
     /// High-water mark of live tuples across all nodes.
     pub peak_tuples: u64,
+    /// Delta batches flushed (0 in unbatched mode).
+    pub batches: u64,
+    /// Deltas fired through batches (0 in unbatched mode).
+    pub batched_deltas: u64,
 }
 
 impl Stats {
@@ -408,6 +500,24 @@ struct JoinCounters {
     matches: u64,
 }
 
+/// One tuple appearance whose rule firings are deferred to the current
+/// batch boundary. `at` is the logical clock of the appearance; it serves
+/// both as the firing's `now` (derived-event scheduling) and its `as_of`
+/// visibility horizon.
+struct Delta {
+    node: NodeId,
+    tuple: Arc<Tuple>,
+    at: LogicalTime,
+}
+
+/// True when the `DP_UNBATCHED` environment variable selects the tuple-at-
+/// a-time reference path as the default for newly built engines (any value
+/// but `0` counts). Read once per process so a test run is homogeneous.
+fn default_unbatched() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("DP_UNBATCHED").is_some_and(|v| v != *"0"))
+}
+
 /// The evaluator. See the module docs for semantics.
 pub struct Engine<S: ProvenanceSink> {
     program: Arc<Program>,
@@ -424,6 +534,16 @@ pub struct Engine<S: ProvenanceSink> {
     rule_firings: BTreeMap<Sym, u64>,
     join_profile: BTreeMap<Sym, RuleJoinProfile>,
     naive_join: bool,
+    unbatched: bool,
+    /// Appearances of the current same-`due` batch, awaiting their rule
+    /// firings (always empty in unbatched mode and at quiescence).
+    pending: Vec<Delta>,
+    /// Provenance events buffered for the batch-aware sink flush.
+    event_buf: Vec<ProvEvent>,
+    /// Reusable per-delta action buffers for [`Engine::flush_batch`].
+    flush_buf: Vec<Vec<(LogicalTime, Action)>>,
+    /// Reusable action buffer for the unbatched reference path.
+    fire_scratch: Vec<(LogicalTime, Action)>,
     /// Safety valve against runaway programs.
     pub max_events: u64,
 }
@@ -445,6 +565,11 @@ impl<S: ProvenanceSink> Engine<S> {
             rule_firings: BTreeMap::new(),
             join_profile: BTreeMap::new(),
             naive_join: false,
+            unbatched: default_unbatched(),
+            pending: Vec::new(),
+            event_buf: Vec::new(),
+            flush_buf: Vec::new(),
+            fire_scratch: Vec::new(),
             max_events: 50_000_000,
         }
     }
@@ -485,6 +610,29 @@ impl<S: ProvenanceSink> Engine<S> {
     /// True when the naive reference join is selected.
     pub fn naive_join(&self) -> bool {
         self.naive_join
+    }
+
+    /// Selects the firing discipline: `true` runs the tuple-at-a-time
+    /// reference path (every appearance fires its rules immediately);
+    /// `false` (the default) defers firings to same-timestamp delta
+    /// batches, semi-naive style. Both produce byte-identical event
+    /// streams — see the module docs. Setting `DP_UNBATCHED=1` in the
+    /// environment flips the default for every engine in the process,
+    /// which is how `scripts/check.sh` runs the suite in both modes.
+    ///
+    /// Call before [`Engine::run`]; switching modes mid-batch would
+    /// strand deferred firings.
+    pub fn set_unbatched(&mut self, unbatched: bool) {
+        debug_assert!(
+            self.pending.is_empty() && self.event_buf.is_empty(),
+            "mode switch with a batch in flight"
+        );
+        self.unbatched = unbatched;
+    }
+
+    /// True when the tuple-at-a-time reference path is selected.
+    pub fn unbatched(&self) -> bool {
+        self.unbatched
     }
 
     /// Consumes the engine, returning its sink (e.g. a finished graph
@@ -550,13 +698,22 @@ impl<S: ProvenanceSink> Engine<S> {
             rule_firings: BTreeMap::new(),
             join_profile: BTreeMap::new(),
             naive_join: false,
+            unbatched: default_unbatched(),
+            pending: Vec::new(),
+            event_buf: Vec::new(),
+            flush_buf: Vec::new(),
+            fire_scratch: Vec::new(),
             max_events: 50_000_000,
         }
     }
 
     /// A read-only view of `node`, if it has any state.
     pub fn view<'a>(&'a self, node: &'a NodeId) -> Option<NodeView<'a>> {
-        self.nodes.get(node).map(|state| NodeView { node, state })
+        self.nodes.get(node).map(|state| NodeView {
+            node,
+            state,
+            as_of: LogicalTime::MAX,
+        })
     }
 
     /// The state of `tuple` at `node`, if currently present.
@@ -604,6 +761,18 @@ impl<S: ProvenanceSink> Engine<S> {
 
     /// Drains the event queue to quiescence.
     pub fn run(&mut self) -> Result<Stats> {
+        let result = self.run_inner();
+        if result.is_err() && !self.event_buf.is_empty() {
+            // Don't swallow provenance already produced by applied
+            // mutations: the unbatched path would have recorded it
+            // before the failure.
+            let mut events = std::mem::take(&mut self.event_buf);
+            self.sink.record_batch(&mut events);
+        }
+        result.map(|()| self.stats)
+    }
+
+    fn run_inner(&mut self) -> Result<()> {
         while let Some(Reverse(ev)) = self.queue.pop() {
             self.stats.events += 1;
             if self.stats.events > self.max_events {
@@ -624,8 +793,31 @@ impl<S: ProvenanceSink> Engine<S> {
                     trigger,
                 } => self.do_insert_derived(node, tuple, rule, body, trigger)?,
             }
+            // Batch boundary: the next event (if any) carries a different
+            // timestamp, so the current delta batch is complete. (The
+            // flush may push same-`due` events; they simply open the next
+            // batch — visibility is governed by clocks, not `due`.)
+            if !self.unbatched
+                && self
+                    .queue
+                    .peek()
+                    .is_none_or(|Reverse(next)| next.due != ev.due)
+            {
+                self.flush_batch()?;
+            }
         }
-        Ok(self.stats)
+        debug_assert!(self.pending.is_empty() && self.event_buf.is_empty());
+        Ok(())
+    }
+
+    /// Records a provenance event — directly in unbatched mode, buffered
+    /// for the next batch flush otherwise.
+    fn emit_event(&mut self, event: ProvEvent) {
+        if self.unbatched {
+            self.sink.record(event);
+        } else {
+            self.event_buf.push(event);
+        }
     }
 
     fn note_appear(&mut self) {
@@ -641,7 +833,7 @@ impl<S: ProvenanceSink> Engine<S> {
         let now = self.clock;
         let specs = self.program.index_specs_for(&tuple.table).cloned();
         let state = self.nodes.entry(node.clone()).or_default();
-        let entry = state.entry(&tuple, specs.as_ref());
+        let entry = state.entry(&tuple, specs.as_ref(), now);
         if entry.base {
             return Ok(()); // idempotent re-insert
         }
@@ -651,24 +843,34 @@ impl<S: ProvenanceSink> Engine<S> {
             entry.appeared_at = now;
         }
         self.stats.base_inserts += 1;
-        self.sink.record(ProvEvent::InsertBase {
+        self.emit_event(ProvEvent::InsertBase {
             time: now,
             node: node.clone(),
             tuple: Arc::clone(&tuple),
         });
         if !was_present {
             self.note_appear();
-            self.sink.record(ProvEvent::Appear {
+            self.emit_event(ProvEvent::Appear {
                 time: now,
                 node: node.clone(),
                 tuple: Arc::clone(&tuple),
             });
-            self.fire_triggers(now, &node, &tuple)?;
+            if self.unbatched {
+                self.fire_triggers(now, &node, &tuple)?;
+            } else {
+                self.pending.push(Delta { node, tuple, at: now });
+            }
         }
         Ok(())
     }
 
     fn do_delete_base(&mut self, node: NodeId, tuple: Arc<Tuple>) -> Result<()> {
+        // A deletion must not overtake firings still pending in the
+        // current batch: flush them first so the cascade sees exactly the
+        // state the tuple-at-a-time path would have built by now.
+        if !self.unbatched {
+            self.flush_batch()?;
+        }
         let now = self.clock;
         let Some(state) = self.nodes.get_mut(&node) else {
             return Ok(());
@@ -682,7 +884,7 @@ impl<S: ProvenanceSink> Engine<S> {
         entry.base = false;
         let gone = entry.support() == 0;
         self.stats.base_deletes += 1;
-        self.sink.record(ProvEvent::DeleteBase {
+        self.emit_event(ProvEvent::DeleteBase {
             time: now,
             node: node.clone(),
             tuple: Arc::clone(&tuple),
@@ -693,7 +895,7 @@ impl<S: ProvenanceSink> Engine<S> {
                 .expect("node state exists")
                 .remove(&tuple);
             self.note_disappear();
-            self.sink.record(ProvEvent::Disappear {
+            self.emit_event(ProvEvent::Disappear {
                 time: now,
                 node: node.clone(),
                 tuple: Arc::clone(&tuple),
@@ -725,7 +927,7 @@ impl<S: ProvenanceSink> Engine<S> {
         }
         let specs = self.program.index_specs_for(&tuple.table).cloned();
         let state = self.nodes.entry(node.clone()).or_default();
-        let entry = state.entry(&tuple, specs.as_ref());
+        let entry = state.entry(&tuple, specs.as_ref(), now);
         let record = DerivRecord {
             rule: rule.clone(),
             body: body.clone(),
@@ -754,7 +956,7 @@ impl<S: ProvenanceSink> Engine<S> {
                 .or_default()
                 .push(head_ref.clone());
         }
-        self.sink.record(ProvEvent::Derive {
+        self.emit_event(ProvEvent::Derive {
             time: now,
             node: node.clone(),
             tuple: Arc::clone(&tuple),
@@ -765,12 +967,16 @@ impl<S: ProvenanceSink> Engine<S> {
         });
         if !was_present {
             self.note_appear();
-            self.sink.record(ProvEvent::Appear {
+            self.emit_event(ProvEvent::Appear {
                 time: now,
                 node: node.clone(),
                 tuple: Arc::clone(&tuple),
             });
-            self.fire_triggers(now, &node, &tuple)?;
+            if self.unbatched {
+                self.fire_triggers(now, &node, &tuple)?;
+            } else {
+                self.pending.push(Delta { node, tuple, at: now });
+            }
         }
         Ok(())
     }
@@ -801,7 +1007,7 @@ impl<S: ProvenanceSink> Engine<S> {
             }
             for d in &removed {
                 self.stats.underivations += 1;
-                self.sink.record(ProvEvent::Underive {
+                self.emit_event(ProvEvent::Underive {
                     time: now,
                     node: head.node.clone(),
                     tuple: Arc::clone(&head.tuple),
@@ -819,7 +1025,7 @@ impl<S: ProvenanceSink> Engine<S> {
                     .expect("node state exists")
                     .remove(&head.tuple);
                 self.note_disappear();
-                self.sink.record(ProvEvent::Disappear {
+                self.emit_event(ProvEvent::Disappear {
                     time: now,
                     node: head.node.clone(),
                     tuple: Arc::clone(&head.tuple),
@@ -831,46 +1037,172 @@ impl<S: ProvenanceSink> Engine<S> {
     }
 
     /// Fires all declarative and native rules triggered by `tuple`
-    /// appearing at `node`.
+    /// appearing at `node`, immediately (the tuple-at-a-time reference
+    /// path). The batched path goes through [`Engine::flush_batch`].
     fn fire_triggers(&mut self, now: LogicalTime, node: &NodeId, tuple: &Arc<Tuple>) -> Result<()> {
-        // Declarative rules.
-        let triggers: Vec<(usize, usize)> = self.program.rule_triggers(&tuple.table).to_vec();
         let program = Arc::clone(&self.program);
-        for (ri, ai) in triggers {
+        let mut out = std::mem::take(&mut self.fire_scratch);
+        for &(ri, ai) in program.rule_triggers(&tuple.table) {
             let rule = program.rule_at(ri);
             if rule.agg.is_some() {
                 // Aggregation rules fire only on their fence (atom 0).
                 if ai == 0 {
-                    self.fire_agg_rule(now, node, tuple, rule, ri)?;
+                    self.fire_agg_rule(now, node, tuple, rule, ri, LogicalTime::MAX, &mut out)?;
                 }
             } else {
-                self.fire_rule(now, node, tuple, rule, ri, ai)?;
+                self.fire_rule(now, node, tuple, rule, ri, ai, LogicalTime::MAX, &mut out)?;
             }
         }
-        // Native rules.
-        let natives: Vec<usize> = self.program.native_triggers(&tuple.table).to_vec();
-        for ni in natives {
-            let native = Arc::clone(program.native_at(ni));
-            let mut emitter = Emitter::default();
-            {
-                let state = self.nodes.get(node).expect("trigger node has state");
-                let view = NodeView { node, state };
-                native.fire(&view, tuple, &mut emitter)?;
+        for &ni in program.native_triggers(&tuple.table) {
+            self.fire_native(now, node, tuple, ni, LogicalTime::MAX, &mut out)?;
+        }
+        for (due, action) in out.drain(..) {
+            self.push(due, action);
+        }
+        self.fire_scratch = out;
+        Ok(())
+    }
+
+    /// Fires native rule `ni` for `tuple` at `node`, appending the
+    /// scheduled actions to `out`.
+    fn fire_native(
+        &mut self,
+        now: LogicalTime,
+        node: &NodeId,
+        tuple: &Arc<Tuple>,
+        ni: usize,
+        as_of: LogicalTime,
+        out: &mut Vec<(LogicalTime, Action)>,
+    ) -> Result<()> {
+        let native = Arc::clone(self.program.native_at(ni));
+        let mut emitter = Emitter::default();
+        {
+            let state = self.nodes.get(node).expect("trigger node has state");
+            let view = NodeView { node, state, as_of };
+            native.fire(&view, tuple, &mut emitter)?;
+        }
+        for em in emitter.emissions {
+            self.program.schemas.check(&em.tuple)?;
+            let head = self.store.intern(em.tuple);
+            out.push((
+                now + em.delay,
+                Action::InsertDerived {
+                    node: em.node,
+                    tuple: head,
+                    rule: native.name(),
+                    body: em.body,
+                    trigger: 0,
+                },
+            ));
+        }
+        Ok(())
+    }
+
+    /// Fires the rules of every delta accumulated in the current batch,
+    /// then releases the buffered provenance events to the sink.
+    ///
+    /// Evaluation is grouped: consecutive deltas of one (node, table) run
+    /// — the delta relation of semi-naive evaluation — share one walk of
+    /// the trigger list, so a bulk insertion resolves its rule set and
+    /// join plans once instead of once per tuple. Scheduled actions are
+    /// buffered per delta and pushed in delta-arrival order afterwards,
+    /// which reproduces the exact push (and therefore pop) sequence of
+    /// the tuple-at-a-time path; each delta fires with its own `now` and
+    /// `as_of` horizon so joins, builtins, and natives observe the state
+    /// as of that delta's appearance.
+    fn flush_batch(&mut self) -> Result<()> {
+        if !self.pending.is_empty() {
+            let deltas = std::mem::take(&mut self.pending);
+            self.stats.batches += 1;
+            self.stats.batched_deltas += deltas.len() as u64;
+            let mut buf = std::mem::take(&mut self.flush_buf);
+            for b in &mut buf {
+                b.clear();
             }
-            for em in emitter.emissions {
-                self.program.schemas.check(&em.tuple)?;
-                let head = self.store.intern(em.tuple);
-                self.push(
-                    now + em.delay,
-                    Action::InsertDerived {
-                        node: em.node,
-                        tuple: head,
-                        rule: native.name(),
-                        body: em.body,
-                        trigger: 0,
-                    },
-                );
+            if buf.len() < deltas.len() {
+                buf.resize_with(deltas.len(), Vec::new);
             }
+            let program = Arc::clone(&self.program);
+            let mut start = 0;
+            while start < deltas.len() {
+                let mut end = start + 1;
+                while end < deltas.len()
+                    && deltas[end].node == deltas[start].node
+                    && deltas[end].tuple.table == deltas[start].tuple.table
+                {
+                    end += 1;
+                }
+                let group = &deltas[start..end];
+                let table = &group[0].tuple.table;
+                for &(ri, ai) in program.rule_triggers(table) {
+                    let rule = program.rule_at(ri);
+                    // Batch-level pruning: within a batch tables only ever
+                    // grow (deletions force a flush first, and there is no
+                    // in-place replacement), so a body table that is empty
+                    // at flush time was empty at every delta's horizon —
+                    // the join cannot complete for any delta in the group.
+                    // Skipping it here saves one trigger match and one
+                    // doomed join per delta. Only join effort counters
+                    // (probes/scans/candidates) shrink; a pruned join can
+                    // never have produced a match or a derivation.
+                    if rule.agg.is_none() {
+                        let state = self.nodes.get(&group[0].node);
+                        let dead = rule.body.iter().enumerate().any(|(bi, a)| {
+                            bi != ai && state.is_none_or(|s| s.table_empty(&a.table))
+                        });
+                        if dead {
+                            continue;
+                        }
+                    }
+                    if rule.agg.is_some() {
+                        if ai == 0 {
+                            for (di, d) in group.iter().enumerate() {
+                                self.fire_agg_rule(
+                                    d.at,
+                                    &d.node,
+                                    &d.tuple,
+                                    rule,
+                                    ri,
+                                    d.at,
+                                    &mut buf[start + di],
+                                )?;
+                            }
+                        }
+                    } else {
+                        for (di, d) in group.iter().enumerate() {
+                            self.fire_rule(
+                                d.at,
+                                &d.node,
+                                &d.tuple,
+                                rule,
+                                ri,
+                                ai,
+                                d.at,
+                                &mut buf[start + di],
+                            )?;
+                        }
+                    }
+                }
+                let natives = program.native_triggers(table);
+                for (di, d) in group.iter().enumerate() {
+                    for &ni in natives {
+                        self.fire_native(d.at, &d.node, &d.tuple, ni, d.at, &mut buf[start + di])?;
+                    }
+                }
+                start = end;
+            }
+            for actions in buf.iter_mut().take(deltas.len()) {
+                for (due, action) in actions.drain(..) {
+                    self.push(due, action);
+                }
+            }
+            self.flush_buf = buf;
+        }
+        if !self.event_buf.is_empty() {
+            let mut events = std::mem::take(&mut self.event_buf);
+            self.sink.record_batch(&mut events);
+            events.clear();
+            self.event_buf = events;
         }
         Ok(())
     }
@@ -894,7 +1226,9 @@ impl<S: ProvenanceSink> Engine<S> {
 
     /// Runs the join for `(rule, trigger)` from `env`, returning complete
     /// matches in the naive nested-loop enumeration order (see module
-    /// docs), and records the join counters against the rule.
+    /// docs), and records the join counters against the rule. Only body
+    /// tuples that appeared no later than `as_of` participate.
+    #[allow(clippy::too_many_arguments)]
     fn collect_matches(
         &mut self,
         node: &NodeId,
@@ -903,6 +1237,7 @@ impl<S: ProvenanceSink> Engine<S> {
         ri: usize,
         trigger_idx: usize,
         mut env: Env,
+        as_of: LogicalTime,
     ) -> Vec<(Env, Vec<Arc<Tuple>>)> {
         let Some(state) = self.nodes.get(node) else {
             return Vec::new();
@@ -922,6 +1257,8 @@ impl<S: ProvenanceSink> Engine<S> {
             rule,
             plan,
             0,
+            trigger_idx,
+            as_of,
             &mut env,
             &mut trail,
             &mut partial,
@@ -949,7 +1286,9 @@ impl<S: ProvenanceSink> Engine<S> {
     }
 
     /// Attempts to fire `rule` with `tuple` matched at body position
-    /// `trigger_idx`, joining the remaining atoms against current state.
+    /// `trigger_idx`, joining the remaining atoms against the state as of
+    /// `as_of`, appending the scheduled actions to `out`.
+    #[allow(clippy::too_many_arguments)]
     fn fire_rule(
         &mut self,
         now: LogicalTime,
@@ -958,11 +1297,13 @@ impl<S: ProvenanceSink> Engine<S> {
         rule: &Rule,
         ri: usize,
         trigger_idx: usize,
+        as_of: LogicalTime,
+        out: &mut Vec<(LogicalTime, Action)>,
     ) -> Result<()> {
         let Some(env) = Self::match_trigger(node, tuple, rule, trigger_idx) else {
             return Ok(());
         };
-        let matches = self.collect_matches(node, tuple, rule, ri, trigger_idx, env);
+        let matches = self.collect_matches(node, tuple, rule, ri, trigger_idx, env, as_of);
 
         for (mut env, body_tuples) in matches {
             if let Err(e) = rule.run_assigns(&mut env) {
@@ -1000,7 +1341,7 @@ impl<S: ProvenanceSink> Engine<S> {
                             vals.push(a.eval(&env)?);
                         }
                         let state = self.nodes.get(node).expect("node has state");
-                        let view = NodeView { node, state };
+                        let view = NodeView { node, state, as_of };
                         if !builtin.eval(&view, &vals)? {
                             satisfied = false;
                             break;
@@ -1025,7 +1366,7 @@ impl<S: ProvenanceSink> Engine<S> {
                 .map(|t| TupleRef::new(node.clone(), t))
                 .collect();
             let delay = if head_node == *node { 0 } else { rule.link_delay };
-            self.push(
+            out.push((
                 now + delay,
                 Action::InsertDerived {
                     node: head_node,
@@ -1034,7 +1375,7 @@ impl<S: ProvenanceSink> Engine<S> {
                     body,
                     trigger: trigger_idx,
                 },
-            );
+            ));
         }
         Ok(())
     }
@@ -1046,6 +1387,7 @@ impl<S: ProvenanceSink> Engine<S> {
     /// state, group the bindings by the non-aggregate head arguments, fold
     /// the aggregate, and derive one head tuple per group. The reported
     /// body of each derivation is the fence plus every contributing tuple.
+    #[allow(clippy::too_many_arguments)]
     fn fire_agg_rule(
         &mut self,
         now: LogicalTime,
@@ -1053,12 +1395,14 @@ impl<S: ProvenanceSink> Engine<S> {
         tuple: &Arc<Tuple>,
         rule: &Rule,
         ri: usize,
+        as_of: LogicalTime,
+        out: &mut Vec<(LogicalTime, Action)>,
     ) -> Result<()> {
         let spec = rule.agg.clone().expect("caller checked");
         let Some(env) = Self::match_trigger(node, tuple, rule, 0) else {
             return Ok(());
         };
-        let matches = self.collect_matches(node, tuple, rule, ri, 0, env);
+        let matches = self.collect_matches(node, tuple, rule, ri, 0, env, as_of);
 
         // Group the bindings. Key: head location + non-aggregate head args.
         type Group = (Vec<Value>, Option<i64>, Vec<TupleRef>);
@@ -1089,7 +1433,7 @@ impl<S: ProvenanceSink> Engine<S> {
                             vals.push(a.eval(&env)?);
                         }
                         let state = self.nodes.get(node).expect("node has state");
-                        let view = NodeView { node, state };
+                        let view = NodeView { node, state, as_of };
                         if !builtin.eval(&view, &vals)? {
                             continue 'bindings;
                         }
@@ -1134,7 +1478,7 @@ impl<S: ProvenanceSink> Engine<S> {
             self.program.schemas.check(&head)?;
             let head = self.store.intern(head);
             let delay = if head_node == *node { 0 } else { rule.link_delay };
-            self.push(
+            out.push((
                 now + delay,
                 Action::InsertDerived {
                     node: head_node,
@@ -1143,7 +1487,7 @@ impl<S: ProvenanceSink> Engine<S> {
                     body,
                     trigger: 0,
                 },
-            );
+            ));
         }
         Ok(())
     }
@@ -1188,13 +1532,24 @@ fn match_atom(atom: &BodyAtom, candidate: &Tuple, env: &mut Env, trail: &mut Vec
 /// Depth-first join following `plan`, with scoped bind/undo instead of an
 /// environment clone per candidate. Matches are pushed in plan-enumeration
 /// order; the caller re-sorts into the canonical order if the plan deviates
-/// from body order.
+/// from body order. Candidates that appeared after `as_of` are invisible
+/// (see the module docs on batching).
+///
+/// When the rule mentions the trigger's table at an *earlier* body
+/// position than `trigger_idx`, the trigger tuple itself is excluded from
+/// that position's candidates: the identical body is enumerated — and its
+/// derivation recorded — by the firing at the earlier trigger position,
+/// so admitting it here would schedule a duplicate derivation (silently
+/// deduplicated at delivery) and double-count the join's candidates and
+/// matches in [`Stats`] and the per-rule profile.
 #[allow(clippy::too_many_arguments)]
 fn join_with_plan(
     state: &NodeState,
     rule: &Rule,
     plan: &JoinPlan,
     step_idx: usize,
+    trigger_idx: usize,
+    as_of: LogicalTime,
     env: &mut Env,
     trail: &mut Vec<Sym>,
     partial: &mut Vec<Option<Arc<Tuple>>>,
@@ -1212,6 +1567,11 @@ fn join_with_plan(
     }
     let step = &plan.steps[step_idx];
     let atom = &rule.body[step.atom];
+    let skip_trigger = if step.atom < trigger_idx && atom.table == rule.body[trigger_idx].table {
+        partial[trigger_idx].clone()
+    } else {
+        None
+    };
     let index_slot = step.index_slot.filter(|_| !step.key_cols.is_empty());
     if let Some(slot) = index_slot {
         let mut key = Vec::with_capacity(step.key_cols.len());
@@ -1227,8 +1587,11 @@ fn join_with_plan(
             }
         }
         counters.probes += 1;
-        for candidate in state.probe(&atom.table, slot, &key) {
+        for candidate in state.probe(&atom.table, slot, &key, as_of) {
             counters.candidates += 1;
+            if skip_trigger.as_deref().is_some_and(|t| **candidate == *t) {
+                continue;
+            }
             let start = trail.len();
             if match_atom(atom, candidate, env, trail) {
                 partial[step.atom] = Some(Arc::clone(candidate));
@@ -1237,6 +1600,8 @@ fn join_with_plan(
                     rule,
                     plan,
                     step_idx + 1,
+                    trigger_idx,
+                    as_of,
                     env,
                     trail,
                     partial,
@@ -1249,8 +1614,11 @@ fn join_with_plan(
         }
     } else {
         counters.scans += 1;
-        for candidate in state.table_arcs(&atom.table) {
+        for candidate in state.table_arcs(&atom.table, as_of) {
             counters.candidates += 1;
+            if skip_trigger.as_deref().is_some_and(|t| **candidate == *t) {
+                continue;
+            }
             let start = trail.len();
             if match_atom(atom, candidate, env, trail) {
                 partial[step.atom] = Some(Arc::clone(candidate));
@@ -1259,6 +1627,8 @@ fn join_with_plan(
                     rule,
                     plan,
                     step_idx + 1,
+                    trigger_idx,
+                    as_of,
                     env,
                     trail,
                     partial,

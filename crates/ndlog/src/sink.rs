@@ -106,6 +106,18 @@ impl ProvEvent {
 pub trait ProvenanceSink {
     /// Records one event. Events arrive in non-decreasing time order.
     fn record(&mut self, event: ProvEvent);
+
+    /// Records a batch of events, draining `events`. The batch is already
+    /// in stream order and implementations must preserve it — the batched
+    /// engine produces the same stream as the tuple-at-a-time path, just
+    /// delivered at delta-batch boundaries. The default forwards to
+    /// [`ProvenanceSink::record`] one event at a time; sinks with cheap
+    /// bulk appends (e.g. [`VecSink`]) override it.
+    fn record_batch(&mut self, events: &mut Vec<ProvEvent>) {
+        for event in events.drain(..) {
+            self.record(event);
+        }
+    }
 }
 
 /// A sink that discards everything (logging disabled; used to measure the
@@ -115,6 +127,10 @@ pub struct NullSink;
 
 impl ProvenanceSink for NullSink {
     fn record(&mut self, _event: ProvEvent) {}
+
+    fn record_batch(&mut self, events: &mut Vec<ProvEvent>) {
+        events.clear();
+    }
 }
 
 /// A sink that buffers events in memory, for tests and for feeding a graph
@@ -129,10 +145,18 @@ impl ProvenanceSink for VecSink {
     fn record(&mut self, event: ProvEvent) {
         self.events.push(event);
     }
+
+    fn record_batch(&mut self, events: &mut Vec<ProvEvent>) {
+        self.events.append(events);
+    }
 }
 
 impl<S: ProvenanceSink + ?Sized> ProvenanceSink for &mut S {
     fn record(&mut self, event: ProvEvent) {
         (**self).record(event);
+    }
+
+    fn record_batch(&mut self, events: &mut Vec<ProvEvent>) {
+        (**self).record_batch(events);
     }
 }

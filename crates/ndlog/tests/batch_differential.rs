@@ -1,0 +1,332 @@
+//! Differential test of the two firing disciplines: semi-naive delta
+//! batching (the default) against the tuple-at-a-time reference path
+//! (`Engine::set_unbatched`). Random small programs and random schedules
+//! — deliberately biased toward many events sharing one timestamp, the
+//! case batching actually batches — are executed in both modes, and the
+//! runs must agree on *everything* observable: the provenance event
+//! stream (byte-for-byte, including derivation order, body order, trigger
+//! indexes, and timestamps), per-rule firing counts, stats, and the final
+//! fixpoint. The full repro scenario corpus (4 SDN + 4 MapReduce + the
+//! campus network) is replayed through both modes too.
+//!
+//! This is the safety net for the batching engine: any visibility leak
+//! (a join seeing a same-batch tuple it should not), reordered push, or
+//! mis-sequenced sink flush shows up as a stream divergence here.
+//! Programs are generated with the in-repo deterministic generator
+//! (offline build — no property-testing framework), so every case is
+//! reproducible from the seeds below.
+
+use std::sync::Arc;
+
+use dp_ndlog::{Engine, Program, ProvEvent, VecSink};
+use dp_types::{
+    tuple, DetRng, FieldType, NodeId, Schema, SchemaRegistry, Sym, TableKind, Tuple,
+};
+
+const BASE_TABLES: [&str; 3] = ["a", "b", "c"];
+const VARS: [&str; 3] = ["X", "Y", "Z"];
+
+fn registry() -> SchemaRegistry {
+    let mut reg = SchemaRegistry::new();
+    for t in BASE_TABLES {
+        reg.declare(Schema::new(
+            t,
+            TableKind::MutableBase,
+            [("x", FieldType::Int), ("y", FieldType::Int)],
+        ));
+    }
+    reg.declare(Schema::new("d", TableKind::Derived, [("v", FieldType::Int)]));
+    reg.declare(Schema::new("e", TableKind::Derived, [("v", FieldType::Int)]));
+    reg
+}
+
+fn arb_pattern(rng: &mut DetRng, bound: &mut Vec<&'static str>) -> String {
+    match rng.gen_range_usize(0, 10) {
+        0..=6 => {
+            let v = VARS[rng.gen_range_usize(0, VARS.len())];
+            if !bound.contains(&v) {
+                bound.push(v);
+            }
+            v.to_string()
+        }
+        7 | 8 => rng.gen_range_i64(-2, 3).to_string(),
+        _ => "_".to_string(),
+    }
+}
+
+fn arb_rule(rng: &mut DetRng, name: &str, head_table: &str, allow_d: bool) -> String {
+    let n_atoms = rng.gen_range_usize(1, 4);
+    let mut bound: Vec<&'static str> = Vec::new();
+    let mut atoms: Vec<String> = Vec::new();
+    for i in 0..n_atoms {
+        if allow_d && i == 0 {
+            let v = VARS[rng.gen_range_usize(0, VARS.len())];
+            if !bound.contains(&v) {
+                bound.push(v);
+            }
+            atoms.push(format!("d(@N, {v})"));
+            continue;
+        }
+        let t = BASE_TABLES[rng.gen_range_usize(0, BASE_TABLES.len())];
+        let p1 = arb_pattern(rng, &mut bound);
+        let p2 = arb_pattern(rng, &mut bound);
+        atoms.push(format!("{t}(@N, {p1}, {p2})"));
+    }
+    if bound.is_empty() {
+        atoms[0] = "a(@N, X, _)".to_string();
+        bound.push("X");
+    }
+    let head_var = bound[rng.gen_range_usize(0, bound.len())];
+    let mut tail = String::new();
+    let head = if rng.gen_bool(0.3) {
+        tail.push_str(&format!(", W := {head_var} + 1"));
+        "W"
+    } else {
+        head_var
+    };
+    if bound.len() >= 2 && rng.gen_bool(0.3) {
+        tail.push_str(&format!(", {} <= {}", bound[0], bound[1]));
+    }
+    format!("{name} {head_table}(@N, {head}) :- {}{tail}.", atoms.join(", "))
+}
+
+fn arb_program(rng: &mut DetRng) -> Option<Arc<Program>> {
+    let mut text = String::new();
+    for i in 0..rng.gen_range_usize(1, 3) {
+        text.push_str(&arb_rule(rng, &format!("rd{i}"), "d", false));
+        text.push('\n');
+    }
+    if rng.gen_bool(0.7) {
+        text.push_str(&arb_rule(rng, "re", "e", true));
+        text.push('\n');
+    }
+    Program::builder(registry())
+        .rules_text(&text)
+        .ok()?
+        .build()
+        .ok()
+}
+
+type Op = (bool, usize, i64, i64, u64, bool);
+
+/// Random ops: (is_delete, base table, x, y, due, second node). Unlike the
+/// join differential, dues come from a *tiny* domain so most events share
+/// a timestamp with others (deep delta batches), deletes routinely land in
+/// the same timestamp as inserts, and some ops expand to a delete+insert
+/// *replacement* pair at one timestamp — the cases where batch flushing,
+/// flush-on-delete, and the `as_of` visibility horizon all matter.
+fn arb_ops(rng: &mut DetRng) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for _ in 0..rng.gen_range_usize(1, 25) {
+        let t = rng.gen_range_usize(0, BASE_TABLES.len());
+        let due = rng.gen_range_u64(0, 8);
+        let second = rng.gen_bool(0.2);
+        let x = rng.gen_range_i64(-2, 3);
+        let y = rng.gen_range_i64(-2, 3);
+        if rng.gen_bool(0.15) {
+            // Replacement: delete one tuple and insert another, same tick.
+            ops.push((true, t, x, y, due, second));
+            ops.push((false, t, rng.gen_range_i64(-2, 3), y, due, second));
+        } else {
+            ops.push((rng.gen_bool(0.25), t, x, y, due, second));
+        }
+    }
+    ops
+}
+
+struct Outcome {
+    events: Vec<ProvEvent>,
+    firings: std::collections::BTreeMap<Sym, u64>,
+    stats: dp_ndlog::Stats,
+    fixpoint: Vec<(NodeId, Tuple, usize)>,
+}
+
+fn run(program: &Arc<Program>, ops: &[Op], unbatched: bool) -> Outcome {
+    let mut eng = Engine::new(Arc::clone(program), VecSink::default());
+    eng.set_unbatched(unbatched);
+    for &(is_delete, t, x, y, due, second) in ops {
+        let node = NodeId::new(if second { "m" } else { "n" });
+        let tup = tuple!(BASE_TABLES[t], x, y);
+        if is_delete {
+            eng.schedule_delete(due, node, tup).unwrap();
+        } else {
+            eng.schedule_insert(due, node, tup).unwrap();
+        }
+    }
+    eng.run().unwrap();
+    let firings = eng.rule_firings().clone();
+    let stats = eng.stats();
+    let fixpoint = eng
+        .nodes()
+        .flat_map(|(node, st)| {
+            st.all()
+                .map(|(t, s)| (node.clone(), t.clone(), s.support()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    Outcome {
+        events: eng.into_sink().events,
+        firings,
+        stats,
+        fixpoint,
+    }
+}
+
+/// The batch counters and the join effort counters are the only
+/// legitimate differences between modes: the batched flush prunes whole
+/// delta groups whose join cannot complete (some partner table is empty),
+/// so it runs fewer probe/scan steps and examines fewer candidates — but
+/// a pruned join can never have produced a match, so `join_matches` and
+/// every semantic counter must still agree exactly.
+fn strip_batch_counters(stats: dp_ndlog::Stats) -> dp_ndlog::Stats {
+    dp_ndlog::Stats {
+        batches: 0,
+        batched_deltas: 0,
+        join_probes: 0,
+        join_scans: 0,
+        join_candidates: 0,
+        ..stats
+    }
+}
+
+#[test]
+fn batched_and_unbatched_agree_on_random_programs() {
+    let mut rng = DetRng::seed_from_u64(0xBA7C_4ED0);
+    let mut cases = 0usize;
+    let mut total_batched_deltas = 0u64;
+    while cases < 96 {
+        let Some(program) = arb_program(&mut rng) else {
+            continue; // Rejected by the builder (e.g. unbound head var).
+        };
+        let ops = arb_ops(&mut rng);
+        cases += 1;
+        let batched = run(&program, &ops, false);
+        let unbatched = run(&program, &ops, true);
+        assert_eq!(
+            batched.events, unbatched.events,
+            "provenance streams diverge (case {cases})"
+        );
+        assert_eq!(batched.firings, unbatched.firings, "case {cases}");
+        assert_eq!(
+            strip_batch_counters(batched.stats),
+            strip_batch_counters(unbatched.stats),
+            "case {cases}"
+        );
+        assert_eq!(unbatched.stats.batches, 0, "reference path formed batches?");
+        assert_eq!(batched.fixpoint, unbatched.fixpoint, "case {cases}");
+        total_batched_deltas += batched.stats.batched_deltas;
+    }
+    // The schedule generator must actually exercise batching, or the suite
+    // proves nothing.
+    assert!(
+        total_batched_deltas > 500,
+        "suite barely batched: {total_batched_deltas} deltas"
+    );
+}
+
+/// Same-tick inserts form one batch; the reference path never batches.
+#[test]
+fn batched_mode_reports_batches() {
+    let program: Arc<Program> = Program::builder(registry())
+        .rules_text("rd0 d(@N, X) :- a(@N, X, _).")
+        .unwrap()
+        .build()
+        .unwrap();
+    let ops: Vec<Op> = (0..8).map(|i| (false, 0, i, 0, 3, false)).collect();
+    let batched = run(&program, &ops, false);
+    let unbatched = run(&program, &ops, true);
+    assert!(batched.stats.batches > 0);
+    assert!(batched.stats.batched_deltas >= 8);
+    assert_eq!(unbatched.stats.batches, 0);
+    assert_eq!(unbatched.stats.batched_deltas, 0);
+}
+
+/// Dense same-tick churn on one key: inserts, deletes, and replacements
+/// of overlapping tuples all at a handful of timestamps, joined three ways
+/// — the worst case for flush-on-delete and visibility horizons.
+#[test]
+fn dense_same_timestamp_churn_agrees() {
+    let mut reg = SchemaRegistry::new();
+    for t in ["p", "q", "r"] {
+        reg.declare(Schema::new(
+            t,
+            TableKind::MutableBase,
+            [("k", FieldType::Int), ("v", FieldType::Int)],
+        ));
+    }
+    reg.declare(Schema::new(
+        "out",
+        TableKind::Derived,
+        [("a", FieldType::Int), ("b", FieldType::Int), ("c", FieldType::Int)],
+    ));
+    let program: Arc<Program> = Program::builder(reg)
+        .rules_text("j out(@N, A, B, C) :- p(@N, K, A), q(@N, K, B), r(@N, K, C).")
+        .unwrap()
+        .build()
+        .unwrap();
+
+    let mut rng = DetRng::seed_from_u64(0x0DE5_BA7C);
+    for _ in 0..16 {
+        let n_ops = rng.gen_range_usize(10, 60);
+        let ops: Vec<(bool, usize, i64, i64, u64)> = (0..n_ops)
+            .map(|_| {
+                (
+                    rng.gen_bool(0.3),
+                    rng.gen_range_usize(0, 3),
+                    rng.gen_range_i64(0, 3), // few keys => deep buckets
+                    rng.gen_range_i64(0, 6),
+                    rng.gen_range_u64(0, 4), // few ticks => deep batches
+                )
+            })
+            .collect();
+        let run = |unbatched: bool| {
+            let mut eng = Engine::new(Arc::clone(&program), VecSink::default());
+            eng.set_unbatched(unbatched);
+            for &(is_delete, t, k, v, due) in &ops {
+                let tup = tuple!(["p", "q", "r"][t], k, v);
+                let n = NodeId::new("n");
+                if is_delete {
+                    eng.schedule_delete(due, n, tup).unwrap();
+                } else {
+                    eng.schedule_insert(due, n, tup).unwrap();
+                }
+            }
+            eng.run().unwrap();
+            eng.into_sink().events
+        };
+        assert_eq!(run(false), run(true));
+    }
+}
+
+/// Replays one scenario execution in the given mode, returning the raw
+/// provenance stream and the final engine for state comparison.
+fn replay_stream(exec: &dp_replay::Execution, unbatched: bool) -> (Vec<ProvEvent>, u64, u64) {
+    let mut eng = Engine::new(Arc::clone(&exec.program), VecSink::default());
+    eng.set_unbatched(unbatched);
+    exec.log.schedule_into(&mut eng, None).unwrap();
+    eng.run().unwrap();
+    let stats = eng.stats();
+    (eng.into_sink().events, stats.derivations, stats.events)
+}
+
+/// All 9 repro scenarios (4 SDN, 4 MapReduce, campus), both the good and
+/// the bad trace of each, must replay to bit-identical provenance streams
+/// in both firing disciplines.
+#[test]
+fn batched_and_unbatched_agree_on_all_repro_scenarios() {
+    let mut scenarios = dp_sdn::all_sdn_scenarios();
+    scenarios.extend(dp_mapreduce::all_mr_scenarios());
+    scenarios.push(dp_sdn::campus(&dp_sdn::CampusConfig::default()).scenario);
+    assert_eq!(scenarios.len(), 9, "repro corpus changed size");
+    for s in &scenarios {
+        for (label, exec) in [("good", &s.good_exec), ("bad", &s.bad_exec)] {
+            let batched = replay_stream(exec, false);
+            let unbatched = replay_stream(exec, true);
+            assert_eq!(
+                batched, unbatched,
+                "scenario {} ({label} trace): modes diverge",
+                s.name
+            );
+        }
+    }
+}

@@ -3,7 +3,8 @@
 use std::sync::Arc;
 
 use dp_ndlog::{
-    Emitter, Engine, NativeRule, NodeView, NullSink, Program, StatefulBuiltin, VecSink,
+    parse_rules, Emitter, Engine, NativeRule, NodeView, NullSink, Program, ProvEvent,
+    RuleJoinProfile, StatefulBuiltin, VecSink,
 };
 use dp_types::{tuple, FieldType, NodeId, Result, Schema, SchemaRegistry, Sym, TableKind, Tuple,
     TupleRef, Value};
@@ -333,4 +334,225 @@ fn aggregation_ignores_tuples_after_the_fence() {
     eng.run().unwrap();
     assert!(eng.lookup(&n, &tuple!("total", "a", 2)).is_some());
     assert!(eng.lookup(&n, &tuple!("total", "a", 42)).is_none());
+}
+
+#[test]
+fn same_timestamp_insert_then_delete_leaves_no_residue() {
+    // Insert and delete of the same tuple scheduled at the same timestamp:
+    // the insert is processed first (push order breaks the tie), so the
+    // tuple briefly exists, but the delete must retract it and no derived
+    // tuple may survive -- in either firing discipline. In batched mode the
+    // delete forces a flush, so the rule still fires against the pre-delete
+    // state and the in-flight derivation is dropped by the liveness check.
+    let run = |unbatched: bool| {
+        let program = Program::builder(base_reg())
+            .rules_text("r d(@N, V) :- k(@N, V).")
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut eng = Engine::new(program, VecSink::default());
+        eng.set_unbatched(unbatched);
+        let n = NodeId::new("n");
+        eng.schedule_insert(5, n.clone(), tuple!("k", 1)).unwrap();
+        eng.schedule_delete(5, n.clone(), tuple!("k", 1)).unwrap();
+        eng.run().unwrap();
+        let view = eng.view(&n).unwrap();
+        assert_eq!(view.table(&Sym::new("k")).count(), 0, "base must be gone");
+        assert_eq!(view.table(&Sym::new("d")).count(), 0, "no derived residue");
+        eng.sink().events.clone()
+    };
+    let batched = run(false);
+    let unbatched = run(true);
+    assert_eq!(batched, unbatched, "streams must be bit-identical");
+    // The tuple's whole life is visible in the stream: it appeared and
+    // disappeared, but the derived tuple never appeared at all.
+    let appears: Vec<&str> = batched
+        .iter()
+        .filter_map(|e| match e {
+            ProvEvent::Appear { tuple, .. } => Some(tuple.table.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(appears, vec!["k"]);
+    assert!(batched
+        .iter()
+        .any(|e| matches!(e, ProvEvent::Disappear { tuple, .. } if tuple.table == "k")));
+}
+
+#[test]
+fn head_feeds_own_body_within_one_batch() {
+    // A recursive self-join whose head lands back in its own body: q join q
+    // derives new q tuples. Two seed rules with different link delays are
+    // timed so both seeds arrive at the remote node at the SAME timestamp,
+    // forming one delta batch -- the recursion then unfolds entirely
+    // through batch flushes. The stratification bound `Z < L` keeps the
+    // closure finite. Both disciplines must produce the same stream and
+    // the same fixpoint.
+    let build = || {
+        let mut reg = SchemaRegistry::new();
+        reg.declare(Schema::new("a", TableKind::ImmutableBase, [("x", FieldType::Int)]));
+        reg.declare(Schema::new("b", TableKind::ImmutableBase, [("x", FieldType::Int)]));
+        reg.declare(Schema::new("dst", TableKind::MutableBase, [("m", FieldType::Str)]));
+        reg.declare(Schema::new("lim", TableKind::ImmutableBase, [("l", FieldType::Int)]));
+        reg.declare(Schema::new("q", TableKind::Derived, [("x", FieldType::Int)]));
+        let mut rules = parse_rules(
+            "seed1 q(@M, X) :- a(@N, X), dst(@N, M).\n\
+             seed2 q(@M, X) :- b(@N, X), dst(@N, M).\n\
+             chain q(@N, Z) :- q(@N, X), q(@N, Y), lim(@N, L), Z := X + Y, Z < L.",
+        )
+        .unwrap();
+        // seed1 fires one clock tick before seed2 (its trigger is popped
+        // first); the extra link delay makes both deliveries land at the
+        // same timestamp on n2.
+        rules
+            .iter_mut()
+            .find(|r| r.name == Sym::new("seed1"))
+            .unwrap()
+            .link_delay = 2;
+        Program::builder(reg).rules(rules).build().unwrap()
+    };
+    let run = |unbatched: bool| {
+        let mut eng = Engine::new(build(), VecSink::default());
+        eng.set_unbatched(unbatched);
+        let n1 = NodeId::new("n1");
+        let n2 = NodeId::new("n2");
+        eng.schedule_insert(0, n1.clone(), tuple!("dst", "n2")).unwrap();
+        eng.schedule_insert(0, n2.clone(), tuple!("lim", 10)).unwrap();
+        eng.schedule_insert(10, n1.clone(), tuple!("a", 1)).unwrap();
+        eng.schedule_insert(10, n1, tuple!("b", 5)).unwrap();
+        eng.run().unwrap();
+        let fixpoint: Vec<i64> = eng
+            .view(&n2)
+            .unwrap()
+            .table(&Sym::new("q"))
+            .filter_map(|t| match t.args[0] {
+                Value::Int(x) => Some(x),
+                _ => None,
+            })
+            .collect();
+        (eng.sink().events.clone(), fixpoint, eng.stats())
+    };
+    let (ev_b, fix_b, stats_b) = run(false);
+    let (ev_u, fix_u, _) = run(true);
+    assert_eq!(ev_b, ev_u, "streams must be bit-identical");
+    assert_eq!(fix_b, fix_u, "fixpoints must agree");
+    // Expected fixpoint: the closure of {1, 5} under pairwise sums below
+    // the limit.
+    let mut expected = std::collections::BTreeSet::from([1i64, 5]);
+    loop {
+        let vals: Vec<i64> = expected.iter().copied().collect();
+        let before = expected.len();
+        for &x in &vals {
+            for &y in &vals {
+                if x + y < 10 {
+                    expected.insert(x + y);
+                }
+            }
+        }
+        if expected.len() == before {
+            break;
+        }
+    }
+    assert_eq!(fix_b, expected.into_iter().collect::<Vec<_>>());
+    // At least one batch held more than one delta -- the two seeds really
+    // did arrive together.
+    assert!(
+        stats_b.batched_deltas > stats_b.batches,
+        "expected a multi-delta batch: {} deltas over {} batches",
+        stats_b.batched_deltas,
+        stats_b.batches
+    );
+}
+
+#[test]
+fn batched_flush_prunes_joins_with_empty_partner_tables() {
+    // Within a batch tables only grow, so when a rule's partner table is
+    // empty at flush time the whole delta group is pruned without running
+    // the join. The reference path still attempts (and fails) each join,
+    // so only the effort counters differ -- streams stay identical.
+    let run = |unbatched: bool| {
+        let program = Program::builder(base_reg())
+            .rules_text("r d(@N, X) :- e(@N, X), k(@N, X).")
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut eng = Engine::new(program, VecSink::default());
+        eng.set_unbatched(unbatched);
+        let n = NodeId::new("n");
+        for i in 0..10i64 {
+            eng.schedule_insert(5, n.clone(), tuple!("e", i)).unwrap();
+        }
+        eng.run().unwrap();
+        let steps = eng.stats().join_probes + eng.stats().join_scans;
+        (eng.sink().events.clone(), steps)
+    };
+    let (ev_b, steps_b) = run(false);
+    let (ev_u, steps_u) = run(true);
+    assert_eq!(ev_b, ev_u);
+    assert_eq!(steps_b, 0, "batched flush must prune the doomed joins");
+    assert!(steps_u > 0, "the reference path attempts each join");
+}
+
+#[test]
+fn self_join_counters_count_each_body_once() {
+    // Regression: a rule with two bound atoms on the same table used to
+    // enumerate each body twice (once per trigger position), double-
+    // counting join matches and derivations. The trigger occurrence is now
+    // skipped when an earlier join step re-scans the trigger's table, so
+    // each distinct body is found exactly once. Pin the exact counters.
+    let mut reg = SchemaRegistry::new();
+    reg.declare(Schema::new(
+        "s",
+        TableKind::ImmutableBase,
+        [("k", FieldType::Int), ("a", FieldType::Int)],
+    ));
+    reg.declare(Schema::new(
+        "two",
+        TableKind::Derived,
+        [("a", FieldType::Int), ("b", FieldType::Int)],
+    ));
+    let program = Program::builder(reg)
+        .rules_text("r two(@N, A, B) :- s(@N, K, A), s(@N, K, B).")
+        .unwrap()
+        .build()
+        .unwrap();
+    for unbatched in [false, true] {
+        let mut eng = Engine::new(program.clone(), NullSink);
+        eng.set_unbatched(unbatched);
+        let n = NodeId::new("n");
+        eng.schedule_insert(0, n.clone(), tuple!("s", 1, 5)).unwrap();
+        eng.schedule_insert(100, n.clone(), tuple!("s", 1, 7)).unwrap();
+        eng.run().unwrap();
+        let pairs: Vec<Tuple> = eng
+            .view(&n)
+            .unwrap()
+            .table(&Sym::new("two"))
+            .cloned()
+            .collect();
+        assert_eq!(
+            pairs,
+            vec![
+                tuple!("two", 5, 5),
+                tuple!("two", 5, 7),
+                tuple!("two", 7, 5),
+                tuple!("two", 7, 7),
+            ]
+        );
+        // Each body found exactly once: the diagonal bodies (5,5) and
+        // (7,7) carry a single derivation, not two.
+        assert_eq!(eng.lookup(&n, &tuple!("two", 5, 5)).unwrap().derivations.len(), 1);
+        assert_eq!(eng.lookup(&n, &tuple!("two", 7, 7)).unwrap().derivations.len(), 1);
+        // First insert: 1 candidate per trigger position, 1 match (the
+        // trigger occurrence is skipped at position 1). Second insert: 2
+        // candidates per position, 2 + 1 matches. Candidates count the
+        // skipped occurrences; matches and derivations do not.
+        let profile = eng.join_profile()[&Sym::new("r")];
+        assert_eq!(
+            profile,
+            RuleJoinProfile { attempts: 4, probes: 4, scans: 0, candidates: 6, matches: 4 },
+            "unbatched={unbatched}"
+        );
+        assert_eq!(eng.stats().derivations, 4, "unbatched={unbatched}");
+        assert_eq!(eng.stats().join_matches, 4, "unbatched={unbatched}");
+    }
 }

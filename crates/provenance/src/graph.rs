@@ -473,6 +473,16 @@ impl ProvenanceSink for GraphRecorder {
     fn record(&mut self, event: ProvEvent) {
         self.graph.record_event(event);
     }
+
+    /// Batched delivery from the engine's delta flush. The batch arrives
+    /// in stream order and is folded into the graph one event at a time,
+    /// in order — the resulting graph is identical to the one built by
+    /// per-event delivery.
+    fn record_batch(&mut self, events: &mut Vec<ProvEvent>) {
+        for event in events.drain(..) {
+            self.graph.record_event(event);
+        }
+    }
 }
 
 #[cfg(test)]

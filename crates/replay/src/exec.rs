@@ -27,6 +27,11 @@ pub struct Execution {
     /// Both paths are observably identical (same event stream, same
     /// fixpoint); the flag exists for differential checks and benchmarks.
     pub naive_join: bool,
+    /// When true, every engine this execution builds fires rules tuple-at-
+    /// a-time instead of batching same-timestamp deltas. Like
+    /// `naive_join`, both modes are observably identical; the flag exists
+    /// for differential checks and benchmarks.
+    pub unbatched: bool,
 }
 
 /// The outcome of a replay: a quiescent engine plus the provenance graph
@@ -71,6 +76,7 @@ impl Execution {
             program,
             log: EventLog::new(),
             naive_join: false,
+            unbatched: false,
         }
     }
 
@@ -83,6 +89,7 @@ impl Execution {
     pub fn replay_until(&self, until: Option<LogicalTime>) -> Result<Replayed> {
         let mut engine = Engine::new(Arc::clone(&self.program), GraphRecorder::new());
         engine.set_naive_join(self.naive_join);
+        engine.set_unbatched(self.unbatched || engine.unbatched());
         self.log.schedule_into(&mut engine, until)?;
         engine.run()?;
         Ok(Replayed { engine })
@@ -93,6 +100,7 @@ impl Execution {
     pub fn replay_null(&self) -> Result<Engine<NullSink>> {
         let mut engine = Engine::new(Arc::clone(&self.program), NullSink);
         engine.set_naive_join(self.naive_join);
+        engine.set_unbatched(self.unbatched || engine.unbatched());
         self.log.schedule_into(&mut engine, None)?;
         engine.run()?;
         Ok(engine)
@@ -107,6 +115,7 @@ impl Execution {
             program: Arc::clone(&self.program),
             log: patched,
             naive_join: self.naive_join,
+            unbatched: self.unbatched,
         };
         clone.replay()
     }
@@ -118,6 +127,7 @@ impl Execution {
         let mut store = CheckpointStore { snaps: Vec::new() };
         let mut engine = Engine::new(Arc::clone(&self.program), NullSink);
         engine.set_naive_join(self.naive_join);
+        engine.set_unbatched(self.unbatched || engine.unbatched());
         let events = self.log.events();
         let mut i = 0;
         while i < events.len() {
@@ -182,6 +192,7 @@ impl Execution {
                     GraphRecorder::new(),
                 );
                 engine.set_naive_join(self.naive_join);
+                engine.set_unbatched(self.unbatched || engine.unbatched());
                 for e in self.log.events() {
                     if e.due <= cp.cut {
                         continue;

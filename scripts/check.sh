@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Full local gate: release build, test suite, and lint-clean clippy.
-# Run from the repository root before sending a change out.
+# Full local gate: release build, test suite in both engine firing
+# disciplines, and lint-clean clippy. Run from the repository root before
+# sending a change out.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
+cargo test --workspace -q
+# Second pass through the tuple-at-a-time reference path (DP_UNBATCHED=1
+# makes it the default discipline; the differential suites still compare
+# both explicitly).
+DP_UNBATCHED=1 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings

@@ -5,9 +5,12 @@
 //! generator with fixed seeds instead of a property-testing framework:
 //! each test is an exhaustive seeded sweep, fully reproducible.
 
-use diffprov::core::Formula;
+use diffprov::core::{DiffProv, Formula, QueryEvent};
 use diffprov::ndlog::{BinOp, Engine, Env, Expr, NullSink, Program};
-use diffprov::types::prefix::Prefix;
+use diffprov::netcore::{compile, to_cfg_entries, Action, Policy, Pred};
+use diffprov::replay::Execution;
+use diffprov::sdn::{deliver_at, pkt_in, sdn_program, Topology};
+use diffprov::types::prefix::{cidr, ip, Prefix};
 use diffprov::types::{
     tuple, DetRng, FieldType, NodeId, Schema, SchemaRegistry, Sym, TableKind, Value,
 };
@@ -217,4 +220,64 @@ fn deletion_drains_derived_state() {
             .count();
         assert_eq!(remaining, 0);
     }
+}
+
+/// DiffProv's tree diff is invariant under the engine's firing discipline:
+/// diagnosing the policy-debugging scenario over batched and tuple-at-a-
+/// time replays yields the identical report — same change set, same
+/// verification outcome, same rendering.
+#[test]
+fn diffprov_report_is_invariant_under_batching() {
+    // The SDN1 policy network with the /24-instead-of-/23 predicate bug
+    // (same build as tests/policy_debugging.rs).
+    let build = |unbatched: bool| -> Execution {
+        let mut topo = Topology::new("ctl");
+        topo.switches(&["S1", "S2", "S6"]);
+        topo.link("S1", "S2");
+        topo.link("S2", "S6");
+        let p_web1 = topo.host("S6", "web1");
+        let p_dpi = topo.host("S6", "dpi");
+        let p_web2 = topo.host("S2", "web2");
+        let s1 = Policy::Filter(Pred::Any, Action::Forward(topo.port_towards("S1", "S2")));
+        let s2 = Policy::if_else(
+            Pred::SrcIn(cidr("4.3.2.0/24")),
+            Policy::Filter(Pred::Any, Action::Forward(topo.port_towards("S2", "S6"))),
+            Policy::Filter(Pred::Any, Action::Forward(p_web2)),
+        );
+        let s6 = Policy::Union(vec![
+            Policy::Filter(Pred::Any, Action::Forward(p_web1)),
+            Policy::Filter(Pred::Any, Action::Forward(p_dpi)),
+        ]);
+        let program = sdn_program("ctl").expect("program builds");
+        let mut exec = Execution::new(program);
+        exec.unbatched = unbatched;
+        topo.emit(&mut exec.log, 10);
+        let ctl = NodeId::new("ctl");
+        for (sw, rid, policy) in [("S1", 100, &s1), ("S2", 200, &s2), ("S6", 600, &s6)] {
+            for t in to_cfg_entries(sw, rid, &compile(policy).expect("compiles")) {
+                exec.log.insert(10, ctl.clone(), t);
+            }
+        }
+        let dst = ip("10.0.0.80");
+        exec.log.insert(1_000, "S1", pkt_in(1, ip("4.3.2.1"), dst, 6, 512));
+        exec.log.insert(2_000, "S1", pkt_in(2, ip("4.3.3.1"), dst, 6, 512));
+        exec
+    };
+    let dst = ip("10.0.0.80");
+    let good = QueryEvent::new(deliver_at("web1", 1, ip("4.3.2.1"), dst, 6, 512), u64::MAX);
+    let bad = QueryEvent::new(deliver_at("web2", 2, ip("4.3.3.1"), dst, 6, 512), u64::MAX);
+    let renderings: Vec<String> = [false, true]
+        .into_iter()
+        .map(|unbatched| {
+            let exec = build(unbatched);
+            let report = DiffProv::default().diagnose(&exec, &good, &exec, &bad).unwrap();
+            assert!(report.succeeded(), "unbatched={unbatched}: {report}");
+            assert!(report.verified, "unbatched={unbatched}");
+            assert_eq!(report.delta.len(), 1, "unbatched={unbatched}: {report}");
+            let fix = report.delta[0].after.as_ref().unwrap();
+            assert_eq!(fix.args[3], Value::Prefix(cidr("4.3.2.0/23")));
+            format!("{report}")
+        })
+        .collect();
+    assert_eq!(renderings[0], renderings[1], "reports must not depend on batching");
 }
