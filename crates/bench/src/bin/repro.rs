@@ -262,7 +262,10 @@ fn run_mrstorage() {
 
 fn run_enginebench() {
     banner("Engine: joins and firing disciplines (campus, 100k+ entries)");
-    let b = engine_bench::engine_bench(100_000, 20).expect("benchmark runs");
+    // Enough background traffic that packet forwarding — the workload the
+    // prefix trie accelerates — carries real weight next to the one-off
+    // bulk configuration load.
+    let b = engine_bench::engine_bench(100_000, 400).expect("benchmark runs");
     println!(
         "  {} entries, {} background packets, {} events",
         b.entries, b.background_packets, b.events
@@ -275,6 +278,15 @@ fn run_enginebench() {
         b.batch_speedup(),
         b.speedup(),
         b.tuples_per_sec()
+    );
+    println!(
+        "  prefix trie: {:.3}s with vs {:.3}s without -> {:.2}x batched, {:.2}x streamed ({} trie probes vs {} forced scans)",
+        b.indexed_secs,
+        b.scan_secs,
+        b.trie_speedup(),
+        b.unbatched_trie_speedup(),
+        b.trie_probes,
+        b.trie_scans
     );
     println!(
         "  probes {} / scans {} (hit rate {:.1}%), {} deltas in {} batches, peak tuples {}, streams identical: {}",

@@ -21,11 +21,17 @@ pub struct EngineBenchResult {
     /// Background packets streamed through the network.
     pub background_packets: usize,
     /// Wall time of the batched indexed replay (seconds) — the default
-    /// engine configuration.
+    /// engine configuration, prefix trie enabled.
     pub indexed_secs: f64,
     /// Wall time of the indexed replay with tuple-at-a-time firing
-    /// (seconds).
+    /// (seconds), prefix trie enabled.
     pub unbatched_secs: f64,
+    /// Wall time of the batched indexed replay with the prefix trie
+    /// disabled (seconds) — the PR 2 baseline, where the `fwd` rule scans
+    /// every flow entry per packet.
+    pub scan_secs: f64,
+    /// Wall time of the trie-disabled, tuple-at-a-time replay (seconds).
+    pub unbatched_scan_secs: f64,
     /// Wall time of the naive nested-loop, tuple-at-a-time replay
     /// (seconds).
     pub naive_secs: f64,
@@ -35,6 +41,10 @@ pub struct EngineBenchResult {
     pub join_probes: u64,
     /// Join steps that fell back to a table scan (batched indexed run).
     pub join_scans: u64,
+    /// Join steps answered by a prefix-trie walk (batched indexed run).
+    pub trie_probes: u64,
+    /// Trie-eligible steps forced to scan in the trie-disabled run.
+    pub trie_scans: u64,
     /// Fraction of join steps answered by a probe (batched indexed run).
     pub index_hit_rate: f64,
     /// Delta batches flushed by the batched run.
@@ -43,7 +53,7 @@ pub struct EngineBenchResult {
     pub batched_deltas: u64,
     /// High-water mark of live tuples across all nodes.
     pub peak_tuples: u64,
-    /// Whether all three runs emitted byte-identical provenance streams.
+    /// Whether all five runs emitted byte-identical provenance streams.
     pub streams_identical: bool,
 }
 
@@ -57,6 +67,18 @@ impl EngineBenchResult {
     /// delta batching alone buys on top of indexed joins.
     pub fn batch_speedup(&self) -> f64 {
         self.unbatched_secs / self.indexed_secs.max(1e-12)
+    }
+
+    /// Trie-disabled time over trie-enabled time, batched discipline —
+    /// what the prefix-trie access path buys end-to-end.
+    pub fn trie_speedup(&self) -> f64 {
+        self.scan_secs / self.indexed_secs.max(1e-12)
+    }
+
+    /// Trie-disabled time over trie-enabled time, tuple-at-a-time
+    /// discipline.
+    pub fn unbatched_trie_speedup(&self) -> f64 {
+        self.unbatched_scan_secs / self.unbatched_secs.max(1e-12)
     }
 
     /// Engine throughput of the batched indexed run, in events per second.
@@ -88,6 +110,7 @@ fn timed_replay(
     exec: &Execution,
     naive: bool,
     unbatched: bool,
+    no_trie: bool,
     runs: usize,
 ) -> Result<(Engine<VecSink>, f64)> {
     let mut best: Option<(Engine<VecSink>, f64)> = None;
@@ -95,6 +118,7 @@ fn timed_replay(
         let mut eng = Engine::new(Arc::clone(&exec.program), VecSink::default());
         eng.set_naive_join(naive);
         eng.set_unbatched(unbatched);
+        eng.set_no_trie(no_trie);
         exec.log.schedule_into(&mut eng, None)?;
         let t = Instant::now();
         eng.run()?;
@@ -127,11 +151,15 @@ pub fn engine_bench(min_entries: usize, background_packets: usize) -> Result<Eng
 
     // One untimed warmup so the first timed leg doesn't pay the cold
     // page-cache / allocator penalty the later legs inherit for free.
-    timed_replay(exec, false, false, 1)?;
-    let (indexed, indexed_secs) = timed_replay(exec, false, false, 5)?;
-    let (unbatched, unbatched_secs) = timed_replay(exec, false, true, 5)?;
-    let (naive, naive_secs) = timed_replay(exec, true, true, 5)?;
+    timed_replay(exec, false, false, false, 1)?;
+    let (indexed, indexed_secs) = timed_replay(exec, false, false, false, 5)?;
+    let (unbatched, unbatched_secs) = timed_replay(exec, false, true, false, 5)?;
+    let (scan, scan_secs) = timed_replay(exec, false, false, true, 5)?;
+    let (unbatched_scan, unbatched_scan_secs) = timed_replay(exec, false, true, true, 5)?;
+    let (naive, naive_secs) = timed_replay(exec, true, true, false, 5)?;
     let streams_identical = indexed.sink().events == unbatched.sink().events
+        && indexed.sink().events == scan.sink().events
+        && indexed.sink().events == unbatched_scan.sink().events
         && indexed.sink().events == naive.sink().events;
     let stats = indexed.stats();
     Ok(EngineBenchResult {
@@ -139,10 +167,14 @@ pub fn engine_bench(min_entries: usize, background_packets: usize) -> Result<Eng
         background_packets,
         indexed_secs,
         unbatched_secs,
+        scan_secs,
+        unbatched_scan_secs,
         naive_secs,
         events: stats.events,
         join_probes: stats.join_probes,
         join_scans: stats.join_scans,
+        trie_probes: stats.trie_probes,
+        trie_scans: scan.stats().trie_scans,
         index_hit_rate: stats.index_hit_rate(),
         batches: stats.batches,
         batched_deltas: stats.batched_deltas,
@@ -197,9 +229,9 @@ pub fn load_bench(min_entries: usize) -> Result<LoadBenchResult> {
     let c = campus(&cfg);
     let exec = &c.scenario.bad_exec;
 
-    timed_replay(exec, false, false, 1)?; // warmup, untimed
-    let (batched, batched_secs) = timed_replay(exec, false, false, 5)?;
-    let (streamed, streamed_secs) = timed_replay(exec, false, true, 5)?;
+    timed_replay(exec, false, false, false, 1)?; // warmup, untimed
+    let (batched, batched_secs) = timed_replay(exec, false, false, false, 5)?;
+    let (streamed, streamed_secs) = timed_replay(exec, false, true, false, 5)?;
     Ok(LoadBenchResult {
         entries: c.entry_count,
         batched_secs,
@@ -319,8 +351,8 @@ pub fn fib_bench(min_entries: usize, queries: usize) -> Result<FibBenchResult> {
         );
     }
 
-    let (indexed, indexed_secs) = timed_replay(&exec, false, false, 3)?;
-    let (naive, naive_secs) = timed_replay(&exec, true, false, 3)?;
+    let (indexed, indexed_secs) = timed_replay(&exec, false, false, false, 3)?;
+    let (naive, naive_secs) = timed_replay(&exec, true, false, false, 3)?;
     Ok(FibBenchResult {
         entries: entries.len(),
         queries,
@@ -332,14 +364,19 @@ pub fn fib_bench(min_entries: usize, queries: usize) -> Result<FibBenchResult> {
     })
 }
 
-/// Replays one execution in all three engine configurations — batched
-/// indexed (the default), tuple-at-a-time indexed, and tuple-at-a-time
-/// naive — and checks stream equality across the lot.
+/// Replays one execution in five engine configurations — batched indexed
+/// (the default, trie on), tuple-at-a-time indexed, both of those with the
+/// prefix trie disabled, and tuple-at-a-time naive — and checks stream
+/// equality across the lot.
 fn exec_parity(exec: &Execution) -> Result<bool> {
-    let (indexed, _) = timed_replay(exec, false, false, 1)?;
-    let (unbatched, _) = timed_replay(exec, false, true, 1)?;
-    let (naive, _) = timed_replay(exec, true, true, 1)?;
+    let (indexed, _) = timed_replay(exec, false, false, false, 1)?;
+    let (unbatched, _) = timed_replay(exec, false, true, false, 1)?;
+    let (scan, _) = timed_replay(exec, false, false, true, 1)?;
+    let (unbatched_scan, _) = timed_replay(exec, false, true, true, 1)?;
+    let (naive, _) = timed_replay(exec, true, true, false, 1)?;
     Ok(indexed.sink().events == unbatched.sink().events
+        && indexed.sink().events == scan.sink().events
+        && indexed.sink().events == unbatched_scan.sink().events
         && indexed.sink().events == naive.sink().events)
 }
 
@@ -350,10 +387,12 @@ fn tree_len(
     event: &diffprov_core::QueryEvent,
     naive: bool,
     unbatched: bool,
+    no_trie: bool,
 ) -> Result<Option<usize>> {
     let mut exec = exec.clone();
     exec.naive_join = naive;
     exec.unbatched = unbatched;
+    exec.no_trie = no_trie;
     let replayed = exec.replay()?;
     Ok(replayed.query_at(&event.tref, event.at).map(|t| t.len()))
 }
@@ -366,16 +405,20 @@ pub fn scenario_parity() -> Result<Vec<ScenarioParity>> {
     scenarios.push(campus(&CampusConfig::default()).scenario);
     let mut out = Vec::new();
     for s in &scenarios {
-        let good_i = tree_len(&s.good_exec, &s.good_event, false, false)?;
-        let good_n = tree_len(&s.good_exec, &s.good_event, true, true)?;
-        let good_u = tree_len(&s.good_exec, &s.good_event, false, true)?;
-        let bad_i = tree_len(&s.bad_exec, &s.bad_event, false, false)?;
-        let bad_n = tree_len(&s.bad_exec, &s.bad_event, true, true)?;
-        let bad_u = tree_len(&s.bad_exec, &s.bad_event, false, true)?;
+        let good_i = tree_len(&s.good_exec, &s.good_event, false, false, false)?;
+        let good_n = tree_len(&s.good_exec, &s.good_event, true, true, false)?;
+        let good_u = tree_len(&s.good_exec, &s.good_event, false, true, false)?;
+        let good_s = tree_len(&s.good_exec, &s.good_event, false, false, true)?;
+        let bad_i = tree_len(&s.bad_exec, &s.bad_event, false, false, false)?;
+        let bad_n = tree_len(&s.bad_exec, &s.bad_event, true, true, false)?;
+        let bad_u = tree_len(&s.bad_exec, &s.bad_event, false, true, false)?;
+        let bad_s = tree_len(&s.bad_exec, &s.bad_event, false, false, true)?;
         let identical = good_i == good_n
             && good_i == good_u
+            && good_i == good_s
             && bad_i == bad_n
             && bad_i == bad_u
+            && bad_i == bad_s
             && exec_parity(&s.good_exec)?
             && exec_parity(&s.bad_exec)?;
         out.push(ScenarioParity {
@@ -408,8 +451,21 @@ pub fn to_json(
         "    \"unbatched_secs\": {:.6},\n",
         bench.unbatched_secs
     ));
+    s.push_str(&format!("    \"scan_secs\": {:.6},\n", bench.scan_secs));
+    s.push_str(&format!(
+        "    \"unbatched_scan_secs\": {:.6},\n",
+        bench.unbatched_scan_secs
+    ));
     s.push_str(&format!("    \"naive_secs\": {:.6},\n", bench.naive_secs));
     s.push_str(&format!("    \"speedup\": {:.2},\n", bench.speedup()));
+    s.push_str(&format!(
+        "    \"trie_speedup\": {:.2},\n",
+        bench.trie_speedup()
+    ));
+    s.push_str(&format!(
+        "    \"unbatched_trie_speedup\": {:.2},\n",
+        bench.unbatched_trie_speedup()
+    ));
     s.push_str(&format!(
         "    \"batch_speedup\": {:.2},\n",
         bench.batch_speedup()
@@ -426,6 +482,8 @@ pub fn to_json(
     ));
     s.push_str(&format!("    \"join_probes\": {},\n", bench.join_probes));
     s.push_str(&format!("    \"join_scans\": {},\n", bench.join_scans));
+    s.push_str(&format!("    \"trie_probes\": {},\n", bench.trie_probes));
+    s.push_str(&format!("    \"trie_scans\": {},\n", bench.trie_scans));
     s.push_str(&format!(
         "    \"index_hit_rate\": {:.4},\n",
         bench.index_hit_rate
@@ -500,6 +558,8 @@ mod tests {
         assert!(b.entries >= 2_000);
         assert!(b.streams_identical);
         assert!(b.join_probes > 0);
+        assert!(b.trie_probes > 0, "the fwd rule must probe the trie");
+        assert!(b.trie_scans > 0, "the scan leg must fall back");
         assert!(b.batches > 0, "the default run must batch");
         assert!(b.batched_deltas >= b.batches);
         let f = fib_bench(2_000, 20).expect("fib bench runs");
@@ -526,5 +586,7 @@ mod tests {
         assert!(json.contains("\"entries\""));
         assert!(json.contains("\"unbatched_secs\""));
         assert!(json.contains("\"batch_speedup\""));
+        assert!(json.contains("\"trie_speedup\""));
+        assert!(json.contains("\"trie_probes\""));
     }
 }

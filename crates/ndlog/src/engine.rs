@@ -70,12 +70,13 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 use std::sync::Arc;
 
 use dp_types::{
-    Error, LogicalTime, NodeId, Result, Sym, TableKind, Tuple, TupleRef, TupleStore, Value,
+    Error, LogicalTime, NodeId, Prefix, PrefixTrie, Result, Sym, TableKind, Tuple, TupleRef,
+    TupleStore, Value,
 };
 
 use crate::ast::{BodyAtom, Constraint, Pattern, Rule};
 use crate::expr::Env;
-use crate::plan::{IndexSpecs, JoinPlan};
+use crate::plan::{IndexSpecs, IpSource, JoinPlan, TrieSpecs};
 use crate::program::{Emitter, Program};
 use crate::sink::{ProvEvent, ProvenanceSink};
 
@@ -111,6 +112,59 @@ impl TupleState {
     }
 }
 
+/// One prefix-trie access path of a table (see [`crate::plan::PrefixProbe`]).
+///
+/// The trie holds the tuples whose value at the indexed column is
+/// prefix-like under the exact promotion rule of `prefix_contains`
+/// (`Value::Prefix` as-is, `Value::Ip` as a `/32` host prefix). Everything
+/// else — wrong arity aside — goes into the `other` bucket, which every
+/// probe returns alongside the trie walk: the scan path would have fed
+/// those tuples to the constraint and surfaced a type error, so the trie
+/// path must produce them too for byte-identical behavior.
+#[derive(Clone, Debug, Default)]
+struct TrieIndex {
+    trie: PrefixTrie<Arc<Tuple>>,
+    other: BTreeSet<Arc<Tuple>>,
+}
+
+impl TrieIndex {
+    /// Routes `tuple` to the trie or the `other` bucket. `None` means the
+    /// column is out of range — such a tuple can never match the atom the
+    /// trie serves, so it is indexed nowhere (like a failed `index_key`).
+    fn route(tuple: &Tuple, col: usize) -> Option<std::result::Result<Prefix, ()>> {
+        match tuple.args.get(col) {
+            Some(Value::Prefix(p)) => Some(Ok(*p)),
+            Some(Value::Ip(ip)) => Some(Ok(Prefix::host(*ip))),
+            Some(_) => Some(Err(())),
+            None => None,
+        }
+    }
+
+    fn insert(&mut self, tuple: &Arc<Tuple>, col: usize) {
+        match Self::route(tuple, col) {
+            Some(Ok(p)) => {
+                self.trie.insert(p, Arc::clone(tuple));
+            }
+            Some(Err(())) => {
+                self.other.insert(Arc::clone(tuple));
+            }
+            None => {}
+        }
+    }
+
+    fn remove(&mut self, tuple: &Tuple, col: usize) {
+        match Self::route(tuple, col) {
+            Some(Ok(p)) => {
+                self.trie.remove(p, tuple);
+            }
+            Some(Err(())) => {
+                self.other.remove(tuple);
+            }
+            None => {}
+        }
+    }
+}
+
 /// One table of one node: the tuples in deterministic BTree order, plus the
 /// secondary hash indexes the program's join plans registered for it.
 ///
@@ -119,11 +173,16 @@ impl TupleState {
 /// probes still enumerate candidates in tuple order. The `HashMap` layer is
 /// only ever probed by key, never iterated, so its nondeterministic
 /// iteration order cannot leak into the event stream.
+///
+/// `tries[slot]` is the prefix trie over column `trie_specs[slot]`,
+/// answering `prefix_contains` probes in O(32) instead of a full scan.
 #[derive(Clone, Debug, Default)]
 struct Table {
     specs: IndexSpecs,
+    trie_specs: TrieSpecs,
     tuples: BTreeMap<Arc<Tuple>, TupleState>,
     indexes: Vec<HashMap<Vec<Value>, BTreeSet<Arc<Tuple>>>>,
+    tries: Vec<TrieIndex>,
     /// Clock of the most recent appearance in this table. Lets `as_of`-
     /// horizon probes (see the module docs on batching) skip the per-
     /// candidate `appeared_at` check entirely whenever nothing in the
@@ -139,12 +198,15 @@ fn index_key(tuple: &Tuple, cols: &[usize]) -> Option<Vec<Value>> {
 }
 
 impl Table {
-    fn with_specs(specs: IndexSpecs) -> Self {
+    fn with_specs(specs: IndexSpecs, trie_specs: TrieSpecs) -> Self {
         let indexes = vec![HashMap::new(); specs.len()];
+        let tries = vec![TrieIndex::default(); trie_specs.len()];
         Table {
             specs,
+            trie_specs,
             tuples: BTreeMap::new(),
             indexes,
+            tries,
             last_appear: 0,
         }
     }
@@ -159,6 +221,9 @@ impl Table {
                         .or_default()
                         .insert(Arc::clone(tuple));
                 }
+            }
+            for (slot, &col) in self.trie_specs.iter().enumerate() {
+                self.tries[slot].insert(tuple, col);
             }
         }
         self.tuples.entry(Arc::clone(tuple)).or_default()
@@ -178,14 +243,19 @@ impl Table {
                 }
             }
         }
+        for (slot, &col) in self.trie_specs.iter().enumerate() {
+            self.tries[slot].remove(tuple, col);
+        }
     }
 
     /// Re-derives every index from the tuple set under (possibly new)
     /// specs. Used when restoring a checkpoint under a program whose index
     /// requirements may differ from the one that took it.
-    fn rebuild(&mut self, specs: IndexSpecs) {
+    fn rebuild(&mut self, specs: IndexSpecs, trie_specs: TrieSpecs) {
         self.indexes = vec![HashMap::new(); specs.len()];
         self.specs = specs;
+        self.tries = vec![TrieIndex::default(); trie_specs.len()];
+        self.trie_specs = trie_specs;
         for tuple in self.tuples.keys() {
             for (slot, cols) in self.specs.iter().enumerate() {
                 if let Some(key) = index_key(tuple, cols) {
@@ -194,6 +264,9 @@ impl Table {
                         .or_default()
                         .insert(Arc::clone(tuple));
                 }
+            }
+            for (slot, &col) in self.trie_specs.iter().enumerate() {
+                self.tries[slot].insert(tuple, col);
             }
         }
     }
@@ -292,15 +365,60 @@ impl NodeState {
             })
     }
 
+    /// Live tuples of `table` that can satisfy a `prefix_contains(_, ip)`
+    /// constraint on trie slot `slot`, respecting the `as_of` horizon:
+    /// first the trie walk (prefixes containing `ip`, shortest first), then
+    /// the non-prefix-like bucket (whose members the constraint will reject
+    /// with exactly the error the scan path would have raised). Candidate
+    /// order is deterministic; final matches are re-sorted into naive
+    /// enumeration order by the caller, like hash-index probes.
+    /// Upper bound on the candidates [`NodeState::probe_prefix`] yields for
+    /// `(table, slot, ip)` — bucket sizes along the trie path plus the
+    /// non-prefix-like overflow, ignoring the `as_of` horizon. Used to pick
+    /// the most selective trie when a step has several probe candidates.
+    fn estimate_prefix(&self, table: &Sym, slot: usize, ip: u32) -> usize {
+        self.tables
+            .get(table)
+            .and_then(|t| t.tries.get(slot))
+            .map_or(0, |ti| ti.trie.count_matches(ip) + ti.other.len())
+    }
+
+    fn probe_prefix(
+        &self,
+        table: &Sym,
+        slot: usize,
+        ip: u32,
+        as_of: LogicalTime,
+    ) -> impl Iterator<Item = &Arc<Tuple>> {
+        let table = self.tables.get(table);
+        let horizon = table.filter(|t| t.last_appear > as_of);
+        let trie = table.and_then(|t| t.tries.get(slot));
+        trie.into_iter()
+            .flat_map(move |ti| ti.trie.matches(ip).chain(ti.other.iter()))
+            .filter(move |c| match horizon {
+                None => true,
+                Some(t) => t
+                    .tuples
+                    .get(c.as_ref())
+                    .is_some_and(|s| s.appeared_at <= as_of),
+            })
+    }
+
     fn entry(
         &mut self,
         tuple: &Arc<Tuple>,
         specs: Option<&IndexSpecs>,
+        trie_specs: Option<&TrieSpecs>,
         now: LogicalTime,
     ) -> &mut TupleState {
         self.tables
             .entry(tuple.table.clone())
-            .or_insert_with(|| Table::with_specs(specs.cloned().unwrap_or_default()))
+            .or_insert_with(|| {
+                Table::with_specs(
+                    specs.cloned().unwrap_or_default(),
+                    trie_specs.cloned().unwrap_or_default(),
+                )
+            })
             .insert(tuple, now)
     }
 
@@ -322,7 +440,8 @@ impl NodeState {
     fn reindex(&mut self, program: &Program) {
         for (name, table) in &mut self.tables {
             let specs = program.index_specs_for(name).cloned().unwrap_or_default();
-            table.rebuild(specs);
+            let tries = program.trie_specs_for(name).cloned().unwrap_or_default();
+            table.rebuild(specs, tries);
         }
     }
 }
@@ -339,6 +458,7 @@ pub struct NodeView<'a> {
     pub node: &'a NodeId,
     state: &'a NodeState,
     as_of: LogicalTime,
+    no_trie: bool,
 }
 
 impl<'a> NodeView<'a> {
@@ -349,6 +469,49 @@ impl<'a> NodeView<'a> {
             .table(table)
             .filter(move |(_, s)| s.appeared_at <= as_of)
             .map(|(t, _)| t)
+    }
+
+    /// Live tuples of `table` that can satisfy a
+    /// `prefix_contains(args[col], ip)` check for at least one of the
+    /// given `(col, ip)` pairs, in table (scan) order.
+    ///
+    /// When the engine maintains a prefix trie on one of the columns this
+    /// probes the most selective of them instead of walking the table; the
+    /// result is a *superset* of the tuples the caller wants (only one
+    /// pair is used for pruning, and non-prefix-like column values are
+    /// always included), so callers must re-check every column exactly as
+    /// a scan would. With the trie disabled — or none maintained for any
+    /// of the columns — every live tuple of the table is returned, which
+    /// is precisely the scan the caller would otherwise have written.
+    /// Either way the caller's filtered result is identical, so stateful
+    /// builtins like OpenFlow priority resolution can use this on their
+    /// hot path without perturbing replay.
+    pub fn prefix_candidates(&self, table: &Sym, probes: &[(usize, u32)]) -> Vec<&'a Tuple> {
+        let slot = if self.no_trie {
+            None
+        } else {
+            self.state.tables.get(table).and_then(|t| {
+                probes
+                    .iter()
+                    .filter_map(|&(col, ip)| {
+                        let slot = t.trie_specs.iter().position(|&c| c == col)?;
+                        Some((slot, ip))
+                    })
+                    .min_by_key(|&(slot, ip)| self.state.estimate_prefix(table, slot, ip))
+            })
+        };
+        match slot {
+            Some((slot, ip)) => {
+                let mut out: Vec<&'a Tuple> = self
+                    .state
+                    .probe_prefix(table, slot, ip, self.as_of)
+                    .map(|t| t.as_ref())
+                    .collect();
+                out.sort_unstable();
+                out
+            }
+            None => self.table(table).collect(),
+        }
     }
 
     /// True if `tuple` is currently present on this node.
@@ -439,6 +602,11 @@ pub struct Stats {
     pub join_probes: u64,
     /// Join steps answered by a full table scan.
     pub join_scans: u64,
+    /// Join steps answered by a prefix-trie walk.
+    pub trie_probes: u64,
+    /// Trie-eligible join steps answered by a full scan instead (the trie
+    /// was disabled, or the bound address was not an IP).
+    pub trie_scans: u64,
     /// Candidate tuples examined across all join steps.
     pub join_candidates: u64,
     /// Complete body matches found by joins.
@@ -473,6 +641,10 @@ pub struct RuleJoinProfile {
     pub probes: u64,
     /// Join steps answered by a full table scan.
     pub scans: u64,
+    /// Join steps answered by a prefix-trie walk.
+    pub trie_probes: u64,
+    /// Trie-eligible join steps answered by a full scan instead.
+    pub trie_scans: u64,
     /// Candidate tuples examined.
     pub candidates: u64,
     /// Complete body matches found.
@@ -496,6 +668,8 @@ impl RuleJoinProfile {
 struct JoinCounters {
     probes: u64,
     scans: u64,
+    trie_probes: u64,
+    trie_scans: u64,
     candidates: u64,
     matches: u64,
 }
@@ -518,6 +692,14 @@ fn default_unbatched() -> bool {
     *FLAG.get_or_init(|| std::env::var_os("DP_UNBATCHED").is_some_and(|v| v != *"0"))
 }
 
+/// True when the `DP_NO_TRIE` environment variable disables the prefix-trie
+/// access path as the default for newly built engines (any value but `0`
+/// counts). Read once per process so a test run is homogeneous.
+fn default_no_trie() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("DP_NO_TRIE").is_some_and(|v| v != *"0"))
+}
+
 /// The evaluator. See the module docs for semantics.
 pub struct Engine<S: ProvenanceSink> {
     program: Arc<Program>,
@@ -534,6 +716,7 @@ pub struct Engine<S: ProvenanceSink> {
     rule_firings: BTreeMap<Sym, u64>,
     join_profile: BTreeMap<Sym, RuleJoinProfile>,
     naive_join: bool,
+    no_trie: bool,
     unbatched: bool,
     /// Appearances of the current same-`due` batch, awaiting their rule
     /// firings (always empty in unbatched mode and at quiescence).
@@ -565,6 +748,7 @@ impl<S: ProvenanceSink> Engine<S> {
             rule_firings: BTreeMap::new(),
             join_profile: BTreeMap::new(),
             naive_join: false,
+            no_trie: default_no_trie(),
             unbatched: default_unbatched(),
             pending: Vec::new(),
             event_buf: Vec::new(),
@@ -610,6 +794,23 @@ impl<S: ProvenanceSink> Engine<S> {
     /// True when the naive reference join is selected.
     pub fn naive_join(&self) -> bool {
         self.naive_join
+    }
+
+    /// Disables (`true`) or enables (`false`, the default) the prefix-trie
+    /// access path for `prefix_contains`-constrained scan steps. With the
+    /// trie disabled those steps fall back to the full ordered scan (and
+    /// count as `trie_scans` in [`Stats`]); the planned probe order, match
+    /// sorting, and event stream are unaffected — both settings produce
+    /// byte-identical provenance. Setting `DP_NO_TRIE=1` in the environment
+    /// flips the default for every engine in the process, which is how
+    /// `scripts/check.sh` runs the suite in both modes.
+    pub fn set_no_trie(&mut self, no_trie: bool) {
+        self.no_trie = no_trie;
+    }
+
+    /// True when the prefix-trie access path is disabled.
+    pub fn no_trie(&self) -> bool {
+        self.no_trie
     }
 
     /// Selects the firing discipline: `true` runs the tuple-at-a-time
@@ -698,6 +899,7 @@ impl<S: ProvenanceSink> Engine<S> {
             rule_firings: BTreeMap::new(),
             join_profile: BTreeMap::new(),
             naive_join: false,
+            no_trie: default_no_trie(),
             unbatched: default_unbatched(),
             pending: Vec::new(),
             event_buf: Vec::new(),
@@ -713,6 +915,7 @@ impl<S: ProvenanceSink> Engine<S> {
             node,
             state,
             as_of: LogicalTime::MAX,
+            no_trie: self.no_trie,
         })
     }
 
@@ -832,8 +1035,9 @@ impl<S: ProvenanceSink> Engine<S> {
     fn do_insert_base(&mut self, node: NodeId, tuple: Arc<Tuple>) -> Result<()> {
         let now = self.clock;
         let specs = self.program.index_specs_for(&tuple.table).cloned();
+        let tries = self.program.trie_specs_for(&tuple.table).cloned();
         let state = self.nodes.entry(node.clone()).or_default();
-        let entry = state.entry(&tuple, specs.as_ref(), now);
+        let entry = state.entry(&tuple, specs.as_ref(), tries.as_ref(), now);
         if entry.base {
             return Ok(()); // idempotent re-insert
         }
@@ -926,8 +1130,9 @@ impl<S: ProvenanceSink> Engine<S> {
             }
         }
         let specs = self.program.index_specs_for(&tuple.table).cloned();
+        let tries = self.program.trie_specs_for(&tuple.table).cloned();
         let state = self.nodes.entry(node.clone()).or_default();
-        let entry = state.entry(&tuple, specs.as_ref(), now);
+        let entry = state.entry(&tuple, specs.as_ref(), tries.as_ref(), now);
         let record = DerivRecord {
             rule: rule.clone(),
             body: body.clone(),
@@ -1078,7 +1283,7 @@ impl<S: ProvenanceSink> Engine<S> {
         let mut emitter = Emitter::default();
         {
             let state = self.nodes.get(node).expect("trigger node has state");
-            let view = NodeView { node, state, as_of };
+            let view = NodeView { node, state, as_of, no_trie: self.no_trie };
             native.fire(&view, tuple, &mut emitter)?;
         }
         for em in emitter.emissions {
@@ -1259,6 +1464,7 @@ impl<S: ProvenanceSink> Engine<S> {
             0,
             trigger_idx,
             as_of,
+            !self.no_trie,
             &mut env,
             &mut trail,
             &mut partial,
@@ -1274,12 +1480,16 @@ impl<S: ProvenanceSink> Engine<S> {
         }
         self.stats.join_probes += counters.probes;
         self.stats.join_scans += counters.scans;
+        self.stats.trie_probes += counters.trie_probes;
+        self.stats.trie_scans += counters.trie_scans;
         self.stats.join_candidates += counters.candidates;
         self.stats.join_matches += counters.matches;
         let profile = self.join_profile.entry(rule.name.clone()).or_default();
         profile.attempts += 1;
         profile.probes += counters.probes;
         profile.scans += counters.scans;
+        profile.trie_probes += counters.trie_probes;
+        profile.trie_scans += counters.trie_scans;
         profile.candidates += counters.candidates;
         profile.matches += counters.matches;
         matches
@@ -1341,7 +1551,7 @@ impl<S: ProvenanceSink> Engine<S> {
                             vals.push(a.eval(&env)?);
                         }
                         let state = self.nodes.get(node).expect("node has state");
-                        let view = NodeView { node, state, as_of };
+                        let view = NodeView { node, state, as_of, no_trie: self.no_trie };
                         if !builtin.eval(&view, &vals)? {
                             satisfied = false;
                             break;
@@ -1433,7 +1643,7 @@ impl<S: ProvenanceSink> Engine<S> {
                             vals.push(a.eval(&env)?);
                         }
                         let state = self.nodes.get(node).expect("node has state");
-                        let view = NodeView { node, state, as_of };
+                        let view = NodeView { node, state, as_of, no_trie: self.no_trie };
                         if !builtin.eval(&view, &vals)? {
                             continue 'bindings;
                         }
@@ -1550,6 +1760,7 @@ fn join_with_plan(
     step_idx: usize,
     trigger_idx: usize,
     as_of: LogicalTime,
+    use_trie: bool,
     env: &mut Env,
     trail: &mut Vec<Sym>,
     partial: &mut Vec<Option<Arc<Tuple>>>,
@@ -1572,6 +1783,41 @@ fn join_with_plan(
     } else {
         None
     };
+    // The candidate loop, monomorphized per access path. Filtering by the
+    // trie removes only candidates the `prefix_contains` constraint would
+    // reject in `fire_rule` (or that cannot match the atom at all), and the
+    // collected matches are re-sorted into naive enumeration order before
+    // acting, so every access path schedules byte-identical event streams.
+    macro_rules! join_candidates {
+        ($candidates:expr) => {
+            for candidate in $candidates {
+                counters.candidates += 1;
+                if skip_trigger.as_deref().is_some_and(|t| **candidate == *t) {
+                    continue;
+                }
+                let start = trail.len();
+                if match_atom(atom, candidate, env, trail) {
+                    partial[step.atom] = Some(Arc::clone(candidate));
+                    join_with_plan(
+                        state,
+                        rule,
+                        plan,
+                        step_idx + 1,
+                        trigger_idx,
+                        as_of,
+                        use_trie,
+                        env,
+                        trail,
+                        partial,
+                        out,
+                        counters,
+                    );
+                    partial[step.atom] = None;
+                    undo(env, trail, start);
+                }
+            }
+        };
+    }
     let index_slot = step.index_slot.filter(|_| !step.key_cols.is_empty());
     if let Some(slot) = index_slot {
         let mut key = Vec::with_capacity(step.key_cols.len());
@@ -1587,58 +1833,46 @@ fn join_with_plan(
             }
         }
         counters.probes += 1;
-        for candidate in state.probe(&atom.table, slot, &key, as_of) {
-            counters.candidates += 1;
-            if skip_trigger.as_deref().is_some_and(|t| **candidate == *t) {
-                continue;
-            }
-            let start = trail.len();
-            if match_atom(atom, candidate, env, trail) {
-                partial[step.atom] = Some(Arc::clone(candidate));
-                join_with_plan(
-                    state,
-                    rule,
-                    plan,
-                    step_idx + 1,
-                    trigger_idx,
-                    as_of,
-                    env,
-                    trail,
-                    partial,
-                    out,
-                    counters,
-                );
-                partial[step.atom] = None;
-                undo(env, trail, start);
-            }
-        }
+        join_candidates!(state.probe(&atom.table, slot, &key, as_of));
+        return;
+    }
+    // A scan step carrying prefix probes walks a trie instead, when the
+    // trie is enabled and the bound address is actually an IP (a non-IP
+    // value falls back to the scan so the constraint raises the same type
+    // error the reference path would). With several constrained columns the
+    // most selective trie — fewest candidates for this execution's address,
+    // estimated by an O(32) bucket-count walk — is probed; ties keep
+    // rule-constraint order. The choice only prunes differently, never
+    // changes the re-sorted match set, so any pick is stream-identical.
+    let trie_probe = if use_trie {
+        step.prefixes
+            .iter()
+            .filter_map(|p| {
+                let addr = match &p.ip {
+                    IpSource::Var(v) => env
+                        .get(v)
+                        .expect("planner guarantees probe address is bound")
+                        .clone(),
+                    IpSource::Const(v) => v.clone(),
+                };
+                match addr {
+                    Value::Ip(ip) => Some((p.trie_slot, ip)),
+                    _ => None,
+                }
+            })
+            .min_by_key(|&(slot, ip)| state.estimate_prefix(&atom.table, slot, ip))
+    } else {
+        None
+    };
+    if let Some((slot, ip)) = trie_probe {
+        counters.trie_probes += 1;
+        join_candidates!(state.probe_prefix(&atom.table, slot, ip, as_of));
     } else {
         counters.scans += 1;
-        for candidate in state.table_arcs(&atom.table, as_of) {
-            counters.candidates += 1;
-            if skip_trigger.as_deref().is_some_and(|t| **candidate == *t) {
-                continue;
-            }
-            let start = trail.len();
-            if match_atom(atom, candidate, env, trail) {
-                partial[step.atom] = Some(Arc::clone(candidate));
-                join_with_plan(
-                    state,
-                    rule,
-                    plan,
-                    step_idx + 1,
-                    trigger_idx,
-                    as_of,
-                    env,
-                    trail,
-                    partial,
-                    out,
-                    counters,
-                );
-                partial[step.atom] = None;
-                undo(env, trail, start);
-            }
+        if !step.prefixes.is_empty() {
+            counters.trie_scans += 1;
         }
+        join_candidates!(state.table_arcs(&atom.table, as_of));
     }
 }
 

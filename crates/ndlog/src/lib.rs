@@ -36,7 +36,7 @@ pub use engine::{
 };
 pub use expr::{BinOp, Env, Expr, Func};
 pub use parser::{parse_expr, parse_rule, parse_rules};
-pub use plan::{JoinPlan, JoinStep, PlanSet};
+pub use plan::{IpSource, JoinPlan, JoinStep, PlanSet, PrefixProbe};
 pub use program::{
     Emission, Emitter, NativeRule, Program, ProgramBuilder, StatefulBuiltin, TupleChange,
 };

@@ -16,6 +16,16 @@
 //!   needed `(table, columns)` index specs so [`crate::engine::NodeState`]
 //!   can maintain them incrementally; a step with no bound columns falls
 //!   back to a full ordered scan.
+//! * **Prefix-trie probe** — a scan step can still be rescued when the rule
+//!   carries a `prefix_contains(Col, Addr)` constraint whose column belongs
+//!   to the step's atom and whose address side is already bound (a constant,
+//!   or a variable bound by the trigger or an earlier step). The planner
+//!   then records a [`PrefixProbe`] and registers a per-`(table, column)`
+//!   trie spec; at run time the engine walks the trie root-to-leaf and
+//!   visits only the O(32) tuples whose prefix contains the bound address
+//!   instead of the whole table. Values that are not prefix-like are kept
+//!   in a side bucket that every probe returns, so type errors (and
+//!   `Value::Ip` promotion to `/32`) surface exactly as on the scan path.
 //!
 //! Reordering joins does not endanger determinism: the engine sorts the
 //! collected matches back into the naive nested-loop enumeration order
@@ -26,9 +36,31 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use dp_types::Sym;
+use dp_types::{Sym, Value};
 
-use crate::ast::{Pattern, Rule};
+use crate::ast::{Constraint, Pattern, Rule};
+use crate::expr::{Expr, Func};
+
+/// Where the bound address of a [`PrefixProbe`] comes from at run time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IpSource {
+    /// A variable guaranteed bound before the step executes.
+    Var(Sym),
+    /// A literal from the rule text.
+    Const(Value),
+}
+
+/// A prefix-trie access path attached to an otherwise-unbound join step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrefixProbe {
+    /// Argument position of the step's atom holding the prefix.
+    pub col: usize,
+    /// Position of `col` in the table's registered trie list
+    /// ([`TrieSpecs`]); resolved after the registry freezes.
+    pub trie_slot: usize,
+    /// The address the probed prefixes must contain.
+    pub ip: IpSource,
+}
 
 /// One step of a join plan: which body atom to join next, and through which
 /// access path.
@@ -42,6 +74,11 @@ pub struct JoinStep {
     /// Position of the `key_cols` index in the table's registered index
     /// list ([`IndexSpecs`]), or `None` when the step is a full scan.
     pub index_slot: Option<usize>,
+    /// Trie access paths for a scan step constrained by `prefix_contains`,
+    /// one per constrained column, in rule-constraint order. The engine
+    /// probes the most selective one at run time. Always empty when
+    /// `key_cols` is non-empty (the hash index wins).
+    pub prefixes: Vec<PrefixProbe>,
 }
 
 /// The join order (and access paths) for one `(rule, trigger atom)` pair.
@@ -57,10 +94,15 @@ pub struct JoinPlan {
 /// them).
 pub type IndexSpecs = Arc<Vec<Vec<usize>>>;
 
-/// Accumulates index requirements across all rules of a program.
+/// The prefix-trie columns required per table, slot-ordered like
+/// [`IndexSpecs`].
+pub type TrieSpecs = Arc<Vec<usize>>;
+
+/// Accumulates index and trie requirements across all rules of a program.
 #[derive(Debug, Default)]
 pub struct IndexRegistry {
     wanted: BTreeMap<Sym, BTreeSet<Vec<usize>>>,
+    trie_wanted: BTreeMap<Sym, BTreeSet<usize>>,
 }
 
 impl IndexRegistry {
@@ -73,14 +115,26 @@ impl IndexRegistry {
             .insert(cols.to_vec());
     }
 
+    /// Registers a `(table, prefix column)` trie requirement.
+    fn want_trie(&mut self, table: &Sym, col: usize) {
+        self.trie_wanted.entry(table.clone()).or_default().insert(col);
+    }
+
     /// Freezes the registry into per-table spec lists (sorted, so slot
-    /// numbering is deterministic) and returns a lookup for slot
-    /// resolution.
-    fn freeze(self) -> BTreeMap<Sym, IndexSpecs> {
-        self.wanted
+    /// numbering is deterministic) and returns lookups for slot resolution.
+    #[allow(clippy::type_complexity)]
+    fn freeze(self) -> (BTreeMap<Sym, IndexSpecs>, BTreeMap<Sym, TrieSpecs>) {
+        let specs = self
+            .wanted
             .into_iter()
             .map(|(t, set)| (t, Arc::new(set.into_iter().collect::<Vec<_>>())))
-            .collect()
+            .collect();
+        let tries = self
+            .trie_wanted
+            .into_iter()
+            .map(|(t, set)| (t, Arc::new(set.into_iter().collect::<Vec<_>>())))
+            .collect();
+        (specs, tries)
     }
 }
 
@@ -112,8 +166,44 @@ fn bound_cols(rule: &Rule, atom: usize, bound: &BTreeSet<Sym>) -> Vec<usize> {
         .collect()
 }
 
+/// Collects every `prefix_contains(Col, Addr)` constraint that can turn a
+/// full scan of `atom` into a trie probe: the first argument must be a
+/// variable naming a column of `atom` (necessarily unbound, or the step
+/// would have key columns) and the second a literal or a variable in
+/// `bound`. Constraints come back in rule order (first wins per column);
+/// which one the engine probes is a run-time selectivity decision, so all
+/// of them are planned.
+fn prefix_probes_for(rule: &Rule, atom: usize, bound: &BTreeSet<Sym>) -> Vec<(usize, IpSource)> {
+    let mut out: Vec<(usize, IpSource)> = Vec::new();
+    for c in &rule.constraints {
+        let Constraint::Expr(Expr::Call(Func::PrefixContains, args)) = c else {
+            continue;
+        };
+        let [Expr::Var(m), ip_expr] = args.as_slice() else {
+            continue;
+        };
+        let Some(col) = rule.body[atom]
+            .args
+            .iter()
+            .position(|p| matches!(p, Pattern::Var(v) if v == m))
+        else {
+            continue;
+        };
+        if out.iter().any(|(c, _)| *c == col) {
+            continue;
+        }
+        let ip = match ip_expr {
+            Expr::Var(s) if bound.contains(s) => IpSource::Var(s.clone()),
+            Expr::Const(v) => IpSource::Const(v.clone()),
+            _ => continue,
+        };
+        out.push((col, ip));
+    }
+    out
+}
+
 /// Plans the join for `rule` when triggered at body atom `trigger`,
-/// registering the index specs it needs.
+/// registering the index and trie specs it needs.
 fn plan_one(rule: &Rule, trigger: usize, registry: &mut IndexRegistry) -> JoinPlan {
     let mut bound: BTreeSet<Sym> = BTreeSet::new();
     bound.insert(rule.body[trigger].loc.clone());
@@ -130,13 +220,25 @@ fn plan_one(rule: &Rule, trigger: usize, registry: &mut IndexRegistry) -> JoinPl
             .expect("remaining is non-empty");
         let atom = remaining.remove(pos);
         let key_cols = bound_cols(rule, atom, &bound);
-        if !key_cols.is_empty() {
+        let mut prefixes = Vec::new();
+        if key_cols.is_empty() {
+            // No equality binding: try to rescue the scan with a trie.
+            for (col, ip) in prefix_probes_for(rule, atom, &bound) {
+                registry.want_trie(&rule.body[atom].table, col);
+                prefixes.push(PrefixProbe {
+                    col,
+                    trie_slot: 0, // resolved after freezing the registry
+                    ip,
+                });
+            }
+        } else {
             registry.want(&rule.body[atom].table, &key_cols);
         }
         steps.push(JoinStep {
             atom,
             key_cols,
             index_slot: None, // resolved after freezing the registry
+            prefixes,
         });
         atom_vars(rule, atom, &mut bound);
     }
@@ -154,6 +256,7 @@ fn plan_naive(rule: &Rule, trigger: usize) -> JoinPlan {
                 atom,
                 key_cols: Vec::new(),
                 index_slot: None,
+                prefixes: Vec::new(),
             })
             .collect(),
     }
@@ -168,6 +271,8 @@ pub struct PlanSet {
     naive: BTreeMap<(usize, usize), JoinPlan>,
     /// Per-table index column sets, slot-ordered.
     specs: BTreeMap<Sym, IndexSpecs>,
+    /// Per-table prefix-trie columns, slot-ordered.
+    tries: BTreeMap<Sym, TrieSpecs>,
 }
 
 impl PlanSet {
@@ -188,22 +293,28 @@ impl PlanSet {
                 naive.insert((ri, t), plan_naive(rule, t));
             }
         }
-        let specs = registry.freeze();
-        // Resolve each step's index slot against the frozen spec lists.
+        let (specs, tries) = registry.freeze();
+        // Resolve each step's index/trie slot against the frozen spec lists.
         for ((ri, _), plan) in plans.iter_mut() {
             for step in &mut plan.steps {
-                if step.key_cols.is_empty() {
-                    continue;
-                }
                 let table = &rules[*ri].body[step.atom].table;
-                step.index_slot = specs[table].iter().position(|c| c == &step.key_cols);
-                debug_assert!(step.index_slot.is_some(), "registered spec must resolve");
+                if !step.key_cols.is_empty() {
+                    step.index_slot = specs[table].iter().position(|c| c == &step.key_cols);
+                    debug_assert!(step.index_slot.is_some(), "registered spec must resolve");
+                }
+                for probe in &mut step.prefixes {
+                    probe.trie_slot = tries[table]
+                        .iter()
+                        .position(|&c| c == probe.col)
+                        .expect("registered trie spec must resolve");
+                }
             }
         }
         PlanSet {
             plans,
             naive,
             specs,
+            tries,
         }
     }
 
@@ -225,6 +336,16 @@ impl PlanSet {
     /// All per-table index specs, for diagnostics.
     pub fn all_specs(&self) -> &BTreeMap<Sym, IndexSpecs> {
         &self.specs
+    }
+
+    /// The prefix-trie columns registered for `table` (empty if none).
+    pub fn trie_specs_for(&self, table: &Sym) -> Option<&TrieSpecs> {
+        self.tries.get(table)
+    }
+
+    /// All per-table trie specs, for diagnostics.
+    pub fn all_trie_specs(&self) -> &BTreeMap<Sym, TrieSpecs> {
+        &self.tries
     }
 }
 
@@ -306,6 +427,83 @@ mod tests {
         let atoms: Vec<usize> = plan.steps.iter().map(|s| s.atom).collect();
         assert_eq!(atoms, vec![0, 2]);
         assert!(plan.steps.iter().all(|s| s.index_slot.is_none()));
+    }
+
+    #[test]
+    fn prefix_constraint_turns_scan_into_trie_probe() {
+        // Triggering on p binds Src; f shares no variable, so the step on f
+        // is a scan — rescued by the prefix_contains constraint on M.
+        let rs = rules(
+            "fwd o(@S, Src, Pt) :- p(@S, Src), f(@S, M, Pt), prefix_contains(M, Src).",
+        );
+        let set = PlanSet::build(&rs);
+        let plan = set.plan(0, 0);
+        assert_eq!(plan.steps.len(), 1);
+        assert!(plan.steps[0].key_cols.is_empty());
+        let [probe] = plan.steps[0].prefixes.as_slice() else {
+            panic!("exactly one trie probe planned: {:?}", plan.steps[0].prefixes);
+        };
+        assert_eq!(probe.col, 0);
+        assert_eq!(probe.ip, IpSource::Var(Sym::new("Src")));
+        assert_eq!(probe.trie_slot, 0);
+        assert_eq!(set.trie_specs_for(&Sym::new("f")).unwrap().as_slice(), &[0]);
+        // Triggering on f: the step on p has no applicable constraint (M is
+        // not a column of p), so no probe.
+        assert!(set.plan(0, 1).steps[0].prefixes.is_empty());
+        // The naive reference plan stays a pure scan.
+        assert!(set.naive_plan(0, 0).steps[0].prefixes.is_empty());
+    }
+
+    #[test]
+    fn prefix_probe_accepts_literal_addresses() {
+        let rs = rules("rc o(@S, M) :- t(@S), f(@S, M), prefix_contains(M, 4.3.2.1).");
+        let set = PlanSet::build(&rs);
+        let probe = &set.plan(0, 0).steps[0].prefixes[0];
+        assert_eq!(
+            probe.ip,
+            IpSource::Const(Value::Ip(u32::from_be_bytes([4, 3, 2, 1])))
+        );
+    }
+
+    #[test]
+    fn prefix_probe_requires_a_bound_address() {
+        // X is bound by the same atom the probe would serve, not before it.
+        let rs = rules("rc o(@S) :- t(@S), f(@S, M, X), prefix_contains(M, X).");
+        let set = PlanSet::build(&rs);
+        assert!(set.plan(0, 0).steps[0].prefixes.is_empty());
+        assert!(set.trie_specs_for(&Sym::new("f")).is_none());
+    }
+
+    #[test]
+    fn hash_index_wins_over_trie_probe() {
+        // Src also appears as an equality column of f, so the step gets key
+        // columns and the trie is not consulted.
+        let rs = rules("rc o(@S, Src) :- p(@S, Src), f(@S, Src, M), prefix_contains(M, Src).");
+        let set = PlanSet::build(&rs);
+        let step = &set.plan(0, 0).steps[0];
+        assert_eq!(step.key_cols, vec![0]);
+        assert!(step.prefixes.is_empty());
+    }
+
+    #[test]
+    fn every_constrained_column_is_planned_as_a_probe() {
+        // Two prefix columns on one atom: both become probe candidates (in
+        // constraint order) so the engine can pick the selective one per
+        // execution — the campus tables are selective on the *second*.
+        let rs = rules(
+            "fwd o(@S, Src, Dst) :- p(@S, Src, Dst), f(@S, SM, DM), \
+             prefix_contains(SM, Src), prefix_contains(DM, Dst).",
+        );
+        let set = PlanSet::build(&rs);
+        let step = &set.plan(0, 0).steps[0];
+        let cols: Vec<usize> = step.prefixes.iter().map(|p| p.col).collect();
+        let slots: Vec<usize> = step.prefixes.iter().map(|p| p.trie_slot).collect();
+        assert_eq!(cols, vec![0, 1]);
+        assert_eq!(slots, vec![0, 1]);
+        assert_eq!(
+            set.trie_specs_for(&Sym::new("f")).unwrap().as_slice(),
+            &[0, 1]
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ use dp_types::{Error, NodeId, Result, SchemaRegistry, Sym, Tuple, TupleRef, Valu
 use crate::ast::Rule;
 use crate::engine::NodeView;
 use crate::parser::parse_rules;
-use crate::plan::{IndexSpecs, JoinPlan, PlanSet};
+use crate::plan::{IndexSpecs, JoinPlan, PlanSet, TrieSpecs};
 
 /// A proposed change to a single base tuple — the elements of the paper's
 /// `Δ_{B→G}` (Definition 1).
@@ -224,6 +224,17 @@ impl Program {
     /// All registered index specs, by table (diagnostics).
     pub fn all_index_specs(&self) -> impl Iterator<Item = (&Sym, &IndexSpecs)> {
         self.plans.all_specs().iter()
+    }
+
+    /// The prefix-trie columns registered for `table`, if any rule probes
+    /// a `prefix_contains` constraint against it.
+    pub fn trie_specs_for(&self, table: &Sym) -> Option<&TrieSpecs> {
+        self.plans.trie_specs_for(table)
+    }
+
+    /// All registered trie specs, by table (diagnostics).
+    pub fn all_trie_specs(&self) -> impl Iterator<Item = (&Sym, &TrieSpecs)> {
+        self.plans.all_trie_specs().iter()
     }
 }
 

@@ -549,10 +549,185 @@ fn self_join_counters_count_each_body_once() {
         let profile = eng.join_profile()[&Sym::new("r")];
         assert_eq!(
             profile,
-            RuleJoinProfile { attempts: 4, probes: 4, scans: 0, candidates: 6, matches: 4 },
+            RuleJoinProfile {
+                attempts: 4,
+                probes: 4,
+                scans: 0,
+                trie_probes: 0,
+                trie_scans: 0,
+                candidates: 6,
+                matches: 4
+            },
             "unbatched={unbatched}"
         );
         assert_eq!(eng.stats().derivations, 4, "unbatched={unbatched}");
         assert_eq!(eng.stats().join_matches, 4, "unbatched={unbatched}");
+    }
+}
+
+#[test]
+fn flow_entry_replacement_keeps_trie_consistent() {
+    // A flowEntry delete plus a re-insert at the same timestamp (a
+    // controller "refreshing" an entry, then later replacing it) cascades
+    // through the install rule into the flowEntry trie. The trie must end
+    // up holding exactly the surviving entries: later packets join against
+    // them and nothing else, byte-identically to the scan path, in both
+    // firing disciplines.
+    use dp_sdn::{cfg_entry, pkt_in, sdn_program};
+    use dp_types::prefix::{cidr, ip};
+
+    let run = |no_trie: bool, unbatched: bool| {
+        let mut eng = Engine::new(sdn_program("c").unwrap(), VecSink::default());
+        eng.set_no_trie(no_trie);
+        eng.set_unbatched(unbatched);
+        let c = NodeId::new("c");
+        let s1 = NodeId::new("s1");
+        eng.schedule_insert(0, s1.clone(), tuple!("hello", 1, "c")).unwrap();
+        let any = cidr("0.0.0.0/0");
+        let e1 = cfg_entry(1, "s1", 1, cidr("10.0.0.0/8"), any, 2);
+        let e2 = cfg_entry(2, "s1", 1, cidr("10.1.0.0/16"), any, 3);
+        eng.schedule_insert(10, c.clone(), e1.clone()).unwrap();
+        // Same-tick refresh: the entry vanishes and reappears within one
+        // timestamp. Support counting and the trie must both end at one.
+        eng.schedule_delete(20, c.clone(), e1.clone()).unwrap();
+        eng.schedule_insert(20, c.clone(), e1.clone()).unwrap();
+        // Same-tick replacement: e1 out, the narrower e2 in.
+        eng.schedule_delete(30, c.clone(), e1).unwrap();
+        eng.schedule_insert(30, c.clone(), e2).unwrap();
+        // 10.1.2.3 matches e2; 10.2.0.1 matched only the departed e1.
+        eng.schedule_insert(50, s1.clone(), pkt_in(7, ip("10.1.2.3"), ip("1.1.1.1"), 6, 100))
+            .unwrap();
+        eng.schedule_insert(60, s1.clone(), pkt_in(8, ip("10.2.0.1"), ip("1.1.1.1"), 6, 100))
+            .unwrap();
+        eng.run().unwrap();
+        let outs: Vec<Tuple> = eng
+            .view(&s1)
+            .unwrap()
+            .table(&Sym::new("pktOut"))
+            .cloned()
+            .collect();
+        let stats = eng.stats();
+        (eng.into_sink().events, outs, stats)
+    };
+
+    let (events, outs, stats) = run(false, false);
+    // Only packet 7 is forwarded, out e2's port; packet 8's entry is gone.
+    assert_eq!(outs.len(), 1, "exactly one packet forwarded: {outs:?}");
+    assert_eq!(outs[0].args[0], Value::Int(7));
+    assert_eq!(outs[0].args[5], Value::Int(3), "must use e2's port");
+    assert!(stats.trie_probes > 0, "the fwd rule must go through the trie");
+    for (label, no_trie, unbatched) in [
+        ("scan", true, false),
+        ("trie+unbatched", false, true),
+        ("scan+unbatched", true, true),
+    ] {
+        let (e, o, _) = run(no_trie, unbatched);
+        assert_eq!(events, e, "{label}: streams diverge");
+        assert_eq!(outs, o, "{label}: forwarding diverges");
+    }
+}
+
+#[test]
+fn overlapping_priorities_pick_best_match_through_the_trie() {
+    // The SDN2 shape: a broad low-priority forwarding entry overlapped by
+    // a narrow high-priority diversion. The trie surfaces *both* matching
+    // entries (shortest prefix first); OpenFlow priority resolution is
+    // still `best_match!`'s job, and it must see the same candidates it
+    // would under a scan — the diverted packet takes only the
+    // high-priority port, traffic outside the overlap only the broad one.
+    use dp_sdn::{cfg_entry, pkt_in, sdn_program};
+    use dp_types::prefix::{cidr, ip};
+
+    let run = |no_trie: bool| {
+        let mut eng = Engine::new(sdn_program("c").unwrap(), VecSink::default());
+        eng.set_no_trie(no_trie);
+        let c = NodeId::new("c");
+        let s1 = NodeId::new("s1");
+        eng.schedule_insert(0, s1.clone(), tuple!("hello", 1, "c")).unwrap();
+        let any = cidr("0.0.0.0/0");
+        eng.schedule_insert(10, c.clone(), cfg_entry(1, "s1", 1, any, any, 2))
+            .unwrap();
+        eng.schedule_insert(10, c.clone(), cfg_entry(2, "s1", 9, cidr("10.0.0.0/8"), any, 5))
+            .unwrap();
+        eng.schedule_insert(50, s1.clone(), pkt_in(1, ip("10.9.9.9"), ip("1.1.1.1"), 6, 100))
+            .unwrap();
+        eng.schedule_insert(60, s1.clone(), pkt_in(2, ip("9.9.9.9"), ip("1.1.1.1"), 6, 100))
+            .unwrap();
+        eng.run().unwrap();
+        let mut ports: Vec<(i64, i64)> = eng
+            .view(&s1)
+            .unwrap()
+            .table(&Sym::new("pktOut"))
+            .map(|t| match (&t.args[0], &t.args[5]) {
+                (Value::Int(pid), Value::Int(pt)) => (*pid, *pt),
+                other => panic!("unexpected pktOut shape: {other:?}"),
+            })
+            .collect();
+        ports.sort_unstable();
+        let stats = eng.stats();
+        (eng.into_sink().events, ports, stats)
+    };
+
+    let (events, ports, stats) = run(false);
+    assert_eq!(ports, vec![(1, 5), (2, 2)], "priority resolution broke");
+    assert!(stats.trie_probes > 0);
+    let (scan_events, scan_ports, scan_stats) = run(true);
+    assert_eq!(events, scan_events, "trie and scan streams diverge");
+    assert_eq!(ports, scan_ports);
+    assert_eq!(scan_stats.trie_probes, 0);
+    assert!(scan_stats.trie_scans > 0);
+}
+
+#[test]
+fn trie_counters_are_pinned() {
+    // Pin the exact trie counter values for a minimal prefix-join program,
+    // in all four configurations. Any change to when the engine consults
+    // the trie (or claims to) shows up here.
+    use dp_types::prefix::{cidr, ip};
+
+    let mut reg = SchemaRegistry::new();
+    reg.declare(Schema::new(
+        "rt",
+        TableKind::MutableBase,
+        [("m", FieldType::Prefix), ("v", FieldType::Int)],
+    ));
+    reg.declare(Schema::new("pk", TableKind::MutableBase, [("s", FieldType::Ip)]));
+    reg.declare(Schema::new("o", TableKind::Derived, [("v", FieldType::Int)]));
+    let program = Program::builder(reg)
+        .rules_text("r o(@N, V) :- pk(@N, S), rt(@N, M, V), prefix_contains(M, S).")
+        .unwrap()
+        .build()
+        .unwrap();
+    for unbatched in [false, true] {
+        for no_trie in [false, true] {
+            let mut eng = Engine::new(program.clone(), NullSink);
+            eng.set_unbatched(unbatched);
+            eng.set_no_trie(no_trie);
+            let n = NodeId::new("n");
+            for (p, v) in [("10.0.0.0/8", 1), ("10.1.0.0/16", 2), ("0.0.0.0/0", 3)] {
+                eng.schedule_insert(0, n.clone(), tuple!("rt", cidr(p), v)).unwrap();
+            }
+            // Two packet triggers: each runs the rt step once, as a trie
+            // probe (or, disabled, as a forced scan).
+            eng.schedule_insert(1, n.clone(), tuple!("pk", Value::Ip(ip("10.1.2.3")))).unwrap();
+            eng.schedule_insert(1, n.clone(), tuple!("pk", Value::Ip(ip("11.0.0.1")))).unwrap();
+            // An rt trigger scans pk (the constraint column is already
+            // bound) — not trie-eligible, so it moves neither counter.
+            eng.schedule_insert(2, n.clone(), tuple!("rt", cidr("12.0.0.0/8"), 4)).unwrap();
+            eng.run().unwrap();
+            let stats = eng.stats();
+            let label = format!("unbatched={unbatched} no_trie={no_trie}");
+            if no_trie {
+                assert_eq!(stats.trie_probes, 0, "{label}");
+                assert_eq!(stats.trie_scans, 2, "{label}");
+            } else {
+                assert_eq!(stats.trie_probes, 2, "{label}");
+                assert_eq!(stats.trie_scans, 0, "{label}");
+            }
+            // The access path never changes what is derived: 10.1.2.3
+            // matches /0, /8, and /16; 11.0.0.1 matches only /0.
+            let o: Vec<Tuple> = eng.view(&n).unwrap().table(&Sym::new("o")).cloned().collect();
+            assert_eq!(o, vec![tuple!("o", 1), tuple!("o", 2), tuple!("o", 3)], "{label}");
+        }
     }
 }

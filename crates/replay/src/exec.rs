@@ -32,6 +32,11 @@ pub struct Execution {
     /// `naive_join`, both modes are observably identical; the flag exists
     /// for differential checks and benchmarks.
     pub unbatched: bool,
+    /// When true, every engine this execution builds answers
+    /// `prefix_contains`-constrained join steps with a full scan instead of
+    /// the prefix trie. Like the other flags, both modes are observably
+    /// identical; the flag exists for differential checks and benchmarks.
+    pub no_trie: bool,
 }
 
 /// The outcome of a replay: a quiescent engine plus the provenance graph
@@ -77,6 +82,7 @@ impl Execution {
             log: EventLog::new(),
             naive_join: false,
             unbatched: false,
+            no_trie: false,
         }
     }
 
@@ -90,6 +96,7 @@ impl Execution {
         let mut engine = Engine::new(Arc::clone(&self.program), GraphRecorder::new());
         engine.set_naive_join(self.naive_join);
         engine.set_unbatched(self.unbatched || engine.unbatched());
+        engine.set_no_trie(self.no_trie || engine.no_trie());
         self.log.schedule_into(&mut engine, until)?;
         engine.run()?;
         Ok(Replayed { engine })
@@ -101,6 +108,7 @@ impl Execution {
         let mut engine = Engine::new(Arc::clone(&self.program), NullSink);
         engine.set_naive_join(self.naive_join);
         engine.set_unbatched(self.unbatched || engine.unbatched());
+        engine.set_no_trie(self.no_trie || engine.no_trie());
         self.log.schedule_into(&mut engine, None)?;
         engine.run()?;
         Ok(engine)
@@ -116,6 +124,7 @@ impl Execution {
             log: patched,
             naive_join: self.naive_join,
             unbatched: self.unbatched,
+            no_trie: self.no_trie,
         };
         clone.replay()
     }
@@ -128,6 +137,7 @@ impl Execution {
         let mut engine = Engine::new(Arc::clone(&self.program), NullSink);
         engine.set_naive_join(self.naive_join);
         engine.set_unbatched(self.unbatched || engine.unbatched());
+        engine.set_no_trie(self.no_trie || engine.no_trie());
         let events = self.log.events();
         let mut i = 0;
         while i < events.len() {
@@ -193,6 +203,7 @@ impl Execution {
                 );
                 engine.set_naive_join(self.naive_join);
                 engine.set_unbatched(self.unbatched || engine.unbatched());
+                engine.set_no_trie(self.no_trie || engine.no_trie());
                 for e in self.log.events() {
                     if e.due <= cp.cut {
                         continue;

@@ -238,7 +238,13 @@ impl BestMatch {
     ) -> Result<Vec<&'a Tuple>> {
         let fe = Sym::new("flowEntry");
         let mut out = Vec::new();
-        for t in view.table(&fe) {
+        // The engine keeps prefix tries on the srcMatch and dstMatch
+        // columns for the `fwd` rule; priority resolution rides whichever
+        // of them is more selective for this packet. The candidates are a
+        // superset of the entries that match it, in table order, so the
+        // filter below is unchanged and the result is identical to a full
+        // scan.
+        for t in view.prefix_candidates(&fe, &[(2, src), (3, dst)]) {
             let eprio = t.args[1].as_int()?;
             let sm = t.args[2].as_prefix()?;
             let dm = t.args[3].as_prefix()?;

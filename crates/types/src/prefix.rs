@@ -60,6 +60,12 @@ impl Prefix {
     }
 
     /// True only for the zero-length prefix (`0.0.0.0/0`).
+    ///
+    /// **Careful:** this is the conventional `len() == 0` companion that
+    /// clippy expects next to [`Prefix::len`], but a zero-*length* prefix is
+    /// the opposite of an empty *set*: `0.0.0.0/0` contains every address
+    /// (see [`Prefix::contains`]). No prefix denotes an empty address set,
+    /// so never use this method to test "matches nothing".
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -221,6 +227,19 @@ mod tests {
         assert!(wide.contains(ip("4.3.2.1")));
         assert!(wide.contains(ip("4.3.3.1")));
         assert!(Prefix::any().contains(ip("255.255.255.255")));
+    }
+
+    #[test]
+    fn is_empty_means_zero_length_not_empty_set() {
+        // `/0` is "empty" only in the length sense; as a match it is total.
+        let any = Prefix::any();
+        assert!(any.is_empty());
+        assert!(any.contains(0));
+        assert!(any.contains(u32::MAX));
+        assert!(any.contains(ip("4.3.2.1")));
+        // Every non-zero length is non-"empty", including hosts.
+        assert!(!cidr("0.0.0.0/1").is_empty());
+        assert!(!Prefix::host(0).is_empty());
     }
 
     #[test]

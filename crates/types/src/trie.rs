@@ -1,0 +1,380 @@
+//! A path-compressed binary trie over IPv4 prefixes.
+//!
+//! This is the access-path structure behind the NDlog engine's
+//! `prefix_contains(Match, Addr)` constraint: instead of scanning every
+//! tuple of a table and testing containment per row, the engine keeps one
+//! [`PrefixTrie`] per `(node, table, prefix column)` and walks it
+//! root-to-leaf for the bound address. Only the O(32) stored prefixes that
+//! *contain* the address lie on that path, so a longest-prefix-match
+//! workload (the paper's SDN flow tables) probes in time proportional to
+//! the address width, not the table size.
+//!
+//! Design constraints inherited from the engine:
+//!
+//! * **Determinism.** Values under one prefix live in a [`BTreeSet`], and
+//!   [`PrefixTrie::matches`] yields buckets shortest-prefix-first, so
+//!   iteration order is a pure function of the contents — exactly like the
+//!   engine's hash-index buckets.
+//! * **Incremental maintenance.** Flow entries are mutable base tuples:
+//!   [`PrefixTrie::insert`] and [`PrefixTrie::remove`] keep the trie
+//!   path-compressed in both directions (splitting on insert, pruning and
+//!   merging on remove), so a delete followed by a re-insert restores the
+//!   identical structure.
+//!
+//! The trie is generic over the stored value so `dp-types` stays
+//! engine-agnostic; the engine instantiates it with `Arc<Tuple>`.
+
+use std::collections::BTreeSet;
+
+use crate::prefix::Prefix;
+
+/// Bit `i` (0 = most significant) of `addr`, as a child index.
+fn bit_at(addr: u32, i: u8) -> usize {
+    debug_assert!(i < 32);
+    ((addr >> (31 - i)) & 1) as usize
+}
+
+/// The longest common prefix of two prefixes (never longer than either).
+fn common_prefix(a: Prefix, b: Prefix) -> Prefix {
+    let lcp = (a.addr() ^ b.addr()).leading_zeros() as u8;
+    let len = lcp.min(a.len()).min(b.len());
+    Prefix::new(a.addr(), len).expect("len <= 32")
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Node<T: Ord> {
+    prefix: Prefix,
+    values: BTreeSet<T>,
+    children: [Option<Box<Node<T>>>; 2],
+}
+
+impl<T: Ord> Node<T> {
+    fn leaf(prefix: Prefix, value: T) -> Self {
+        let mut values = BTreeSet::new();
+        values.insert(value);
+        Node {
+            prefix,
+            values,
+            children: [None, None],
+        }
+    }
+
+    fn branch(prefix: Prefix) -> Self {
+        Node {
+            prefix,
+            values: BTreeSet::new(),
+            children: [None, None],
+        }
+    }
+}
+
+/// An incrementally-maintained, path-compressed binary trie mapping IPv4
+/// prefixes to ordered sets of values.
+///
+/// Invariants (checked in debug builds by the property tests):
+///
+/// * every child's prefix is strictly covered by its parent's prefix;
+/// * siblings diverge on the bit just past the parent's length;
+/// * a node with no values has two children (single-child value-less nodes
+///   are merged away on removal, so the depth stays O(32) regardless of
+///   churn).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrefixTrie<T: Ord> {
+    root: Option<Box<Node<T>>>,
+    len: usize,
+}
+
+impl<T: Ord> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        PrefixTrie { root: None, len: 0 }
+    }
+}
+
+impl<T: Ord> PrefixTrie<T> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The number of stored `(prefix, value)` entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.root = None;
+        self.len = 0;
+    }
+
+    /// Inserts `value` under `prefix`. Returns `false` when the identical
+    /// `(prefix, value)` entry was already present.
+    pub fn insert(&mut self, prefix: Prefix, value: T) -> bool {
+        let added = Self::insert_into(&mut self.root, prefix, value);
+        if added {
+            self.len += 1;
+        }
+        added
+    }
+
+    fn insert_into(slot: &mut Option<Box<Node<T>>>, prefix: Prefix, value: T) -> bool {
+        let Some(node) = slot else {
+            *slot = Some(Box::new(Node::leaf(prefix, value)));
+            return true;
+        };
+        if node.prefix == prefix {
+            return node.values.insert(value);
+        }
+        if node.prefix.covers(&prefix) {
+            // Descend: the new prefix is strictly longer, so the branch bit
+            // just past this node's length is in range.
+            let bit = bit_at(prefix.addr(), node.prefix.len());
+            return Self::insert_into(&mut node.children[bit], prefix, value);
+        }
+        if prefix.covers(&node.prefix) {
+            // The new prefix sits above this node: splice it in between.
+            let old = slot.take().expect("slot was Some");
+            let bit = bit_at(old.prefix.addr(), prefix.len());
+            let mut new = Node::leaf(prefix, value);
+            new.children[bit] = Some(old);
+            *slot = Some(Box::new(new));
+            return true;
+        }
+        // Diverging prefixes: split at their longest common prefix. Neither
+        // covers the other, so the common length is strictly shorter than
+        // both and the two branch bits necessarily differ.
+        let fork = common_prefix(prefix, node.prefix);
+        let old = slot.take().expect("slot was Some");
+        let old_bit = bit_at(old.prefix.addr(), fork.len());
+        let mut branch = Node::branch(fork);
+        branch.children[old_bit] = Some(old);
+        branch.children[bit_at(prefix.addr(), fork.len())] = Some(Box::new(Node::leaf(prefix, value)));
+        *slot = Some(Box::new(branch));
+        true
+    }
+
+    /// Removes the `(prefix, value)` entry. Returns `false` when it was not
+    /// present. Path compression is restored bottom-up: emptied leaves are
+    /// pruned and value-less single-child nodes merged away.
+    ///
+    /// Like `BTreeSet::remove`, accepts any borrowed form of the value.
+    pub fn remove<Q>(&mut self, prefix: Prefix, value: &Q) -> bool
+    where
+        T: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let removed = Self::remove_from(&mut self.root, prefix, value);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_from<Q>(slot: &mut Option<Box<Node<T>>>, prefix: Prefix, value: &Q) -> bool
+    where
+        T: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let Some(node) = slot else { return false };
+        let removed = if node.prefix == prefix {
+            node.values.remove(value)
+        } else if node.prefix.covers(&prefix) {
+            let bit = bit_at(prefix.addr(), node.prefix.len());
+            Self::remove_from(&mut node.children[bit], prefix, value)
+        } else {
+            false
+        };
+        if removed {
+            Self::compress(slot);
+        }
+        removed
+    }
+
+    /// Restores path compression at `slot` after a removal below it.
+    fn compress(slot: &mut Option<Box<Node<T>>>) {
+        let Some(node) = slot else { return };
+        if !node.values.is_empty() {
+            return;
+        }
+        match node.children.iter().filter(|c| c.is_some()).count() {
+            // An emptied leaf is pruned outright.
+            0 => *slot = None,
+            // A value-less node with one child is merged away, restoring
+            // the compressed path.
+            1 => {
+                let promoted = node
+                    .children
+                    .iter_mut()
+                    .find_map(|c| c.take())
+                    .expect("counted one Some child");
+                *slot = Some(promoted);
+            }
+            // A two-child fork stays, values or not.
+            _ => {}
+        }
+    }
+
+    /// All values stored under prefixes that contain `ip`, walking the trie
+    /// root-to-leaf: buckets come shortest-prefix-first and each bucket in
+    /// the values' `Ord` order, so the sequence is deterministic.
+    pub fn matches(&self, ip: u32) -> impl Iterator<Item = &T> {
+        // Depth is at most 33 nodes (one per prefix length).
+        let mut buckets: Vec<&Node<T>> = Vec::new();
+        let mut cur = self.root.as_deref();
+        while let Some(node) = cur {
+            if !node.prefix.contains(ip) {
+                break;
+            }
+            if !node.values.is_empty() {
+                buckets.push(node);
+            }
+            if node.prefix.len() == 32 {
+                break;
+            }
+            cur = node.children[bit_at(ip, node.prefix.len())].as_deref();
+        }
+        buckets.into_iter().flat_map(|n| n.values.iter())
+    }
+
+    /// The number of values [`PrefixTrie::matches`] would yield for `ip`,
+    /// without materializing them — an O(32) walk summing bucket sizes.
+    /// Callers holding several candidate tries (e.g. one per constrained
+    /// column of a join) can use this to probe the most selective one.
+    pub fn count_matches(&self, ip: u32) -> usize {
+        let mut n = 0;
+        let mut cur = self.root.as_deref();
+        while let Some(node) = cur {
+            if !node.prefix.contains(ip) {
+                break;
+            }
+            n += node.values.len();
+            if node.prefix.len() == 32 {
+                break;
+            }
+            cur = node.children[bit_at(ip, node.prefix.len())].as_deref();
+        }
+        n
+    }
+
+    /// Every `(prefix, value)` entry in depth-first (prefix-ordered) order.
+    /// For diagnostics and tests; probes should use [`PrefixTrie::matches`].
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &T)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut stack: Vec<&Node<T>> = self.root.as_deref().into_iter().collect();
+        while let Some(node) = stack.pop() {
+            for v in &node.values {
+                out.push((node.prefix, v));
+            }
+            // Push right first so the left (0-bit) subtree pops first.
+            for child in node.children.iter().rev().flatten() {
+                stack.push(child);
+            }
+        }
+        out.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix::{cidr, ip};
+
+    #[test]
+    fn empty_trie_matches_nothing() {
+        let t: PrefixTrie<u32> = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.matches(ip("1.2.3.4")).count(), 0);
+    }
+
+    #[test]
+    fn matches_walk_root_to_leaf() {
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::any(), "any");
+        t.insert(cidr("4.3.0.0/16"), "wide");
+        t.insert(cidr("4.3.2.0/24"), "narrow");
+        t.insert(cidr("4.3.2.9/32"), "host");
+        t.insert(cidr("9.9.0.0/16"), "other");
+        let hits: Vec<&&str> = t.matches(ip("4.3.2.9")).collect();
+        assert_eq!(hits, vec![&"any", &"wide", &"narrow", &"host"]);
+        let hits: Vec<&&str> = t.matches(ip("4.3.3.1")).collect();
+        assert_eq!(hits, vec![&"any", &"wide"]);
+    }
+
+    #[test]
+    fn duplicate_prefix_shares_a_bucket_in_value_order() {
+        let mut t = PrefixTrie::new();
+        assert!(t.insert(cidr("10.0.0.0/8"), 2));
+        assert!(t.insert(cidr("10.0.0.0/8"), 1));
+        assert!(!t.insert(cidr("10.0.0.0/8"), 1));
+        assert_eq!(t.len(), 2);
+        let hits: Vec<&i32> = t.matches(ip("10.1.2.3")).collect();
+        assert_eq!(hits, vec![&1, &2]);
+    }
+
+    #[test]
+    fn remove_restores_path_compression() {
+        let mut t = PrefixTrie::new();
+        t.insert(cidr("4.3.2.0/24"), 1);
+        t.insert(cidr("4.3.3.0/24"), 2);
+        // Insertion forked at 4.3.2.0/23; removing one side must merge the
+        // value-less fork away again.
+        let before = t.clone();
+        t.insert(cidr("4.3.9.0/24"), 3);
+        assert!(t.remove(cidr("4.3.9.0/24"), &3));
+        assert_eq!(t, before);
+        assert!(!t.remove(cidr("4.3.9.0/24"), &3));
+    }
+
+    #[test]
+    fn reinsert_after_remove_is_structurally_identical() {
+        let mut t = PrefixTrie::new();
+        for (i, p) in ["0.0.0.0/0", "128.0.0.0/1", "192.0.0.0/2", "192.128.0.0/9"]
+            .iter()
+            .enumerate()
+        {
+            t.insert(cidr(p), i);
+        }
+        let before = t.clone();
+        assert!(t.remove(cidr("192.0.0.0/2"), &2));
+        assert!(t.insert(cidr("192.0.0.0/2"), 2));
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn slash_zero_and_slash_32_edges() {
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::any(), "all");
+        t.insert(cidr("255.255.255.255/32"), "top");
+        t.insert(cidr("0.0.0.0/32"), "bottom");
+        assert_eq!(
+            t.matches(u32::MAX).collect::<Vec<_>>(),
+            vec![&"all", &"top"]
+        );
+        assert_eq!(t.matches(0).collect::<Vec<_>>(), vec![&"all", &"bottom"]);
+        assert_eq!(t.matches(ip("7.7.7.7")).collect::<Vec<_>>(), vec![&"all"]);
+    }
+
+    #[test]
+    fn iter_enumerates_everything() {
+        let mut t = PrefixTrie::new();
+        let entries = [
+            (cidr("4.3.2.0/24"), 1),
+            (cidr("4.3.2.0/24"), 2),
+            (cidr("8.0.0.0/5"), 3),
+            (Prefix::any(), 4),
+        ];
+        for (p, v) in entries {
+            t.insert(p, v);
+        }
+        let mut seen: Vec<(Prefix, i32)> = t.iter().map(|(p, v)| (p, *v)).collect();
+        seen.sort();
+        let mut want = entries.to_vec();
+        want.sort();
+        assert_eq!(seen, want);
+    }
+}

@@ -1,0 +1,135 @@
+//! Randomized property tests for [`dp_types::PrefixTrie`], driven by the
+//! in-repo deterministic generator (the workspace builds offline, so no
+//! property-testing framework is available).
+//!
+//! The model is the brute-force one the trie replaces in the engine: a flat
+//! multiset of `(prefix, value)` entries scanned with
+//! `filter(|p| p.contains(ip))`. Every probe must agree with the model
+//! after arbitrary interleavings of inserts and deletes, including
+//! duplicate prefixes and the `/0` / `/32` edges.
+
+use dp_types::{DetRng, Prefix, PrefixTrie};
+
+/// Random prefix, biased so that overlaps, `/0`, and `/32` actually occur.
+fn arb_prefix(rng: &mut DetRng) -> Prefix {
+    let len = match rng.gen_range_usize(0, 10) {
+        0 => 0,
+        1 | 2 => 32,
+        _ => rng.gen_range_usize(0, 33) as u8,
+    };
+    // Half the prefixes cluster in 10.0.0.0/16 so containment chains form.
+    let addr = if rng.gen_bool(0.5) {
+        0x0a00_0000 | (rng.next_u32() & 0x0000_ffff)
+    } else {
+        rng.next_u32()
+    };
+    Prefix::new(addr, len).unwrap()
+}
+
+/// Random probe address, biased into the same cluster.
+fn arb_ip(rng: &mut DetRng) -> u32 {
+    match rng.gen_range_usize(0, 8) {
+        0 => 0,
+        1 => u32::MAX,
+        2..=4 => 0x0a00_0000 | (rng.next_u32() & 0x0000_ffff),
+        _ => rng.next_u32(),
+    }
+}
+
+/// `trie.matches(ip)` must equal the model filtered by containment, in the
+/// trie's documented order: shortest prefix first, values in `Ord` order
+/// within one prefix. Distinct prefixes of equal length never contain the
+/// same address, so sorting the model by `(len, value)` reproduces it.
+fn check_probe(trie: &PrefixTrie<u64>, model: &[(Prefix, u64)], ip: u32) {
+    let got: Vec<u64> = trie.matches(ip).copied().collect();
+    let mut want: Vec<(u8, u64)> = model
+        .iter()
+        .filter(|(p, _)| p.contains(ip))
+        .map(|(p, v)| (p.len(), *v))
+        .collect();
+    want.sort_unstable();
+    let want: Vec<u64> = want.into_iter().map(|(_, v)| v).collect();
+    assert_eq!(got, want, "probe of {} diverged", Prefix::fmt_ip(ip));
+}
+
+#[test]
+fn matches_equals_brute_force_under_interleaved_churn() {
+    let mut rng = DetRng::seed_from_u64(0x7A1E_0001);
+    for _case in 0..150 {
+        let mut trie: PrefixTrie<u64> = PrefixTrie::new();
+        let mut model: Vec<(Prefix, u64)> = Vec::new();
+        let ops = rng.gen_range_usize(1, 60);
+        for _ in 0..ops {
+            if !model.is_empty() && rng.gen_bool(0.35) {
+                if rng.gen_bool(0.2) {
+                    // Remove of an arbitrary (possibly absent) entry agrees
+                    // with the model on whether anything was removed.
+                    let p = arb_prefix(&mut rng);
+                    let v = rng.gen_range_usize(0, 8) as u64;
+                    let pos = model.iter().position(|e| *e == (p, v));
+                    assert_eq!(trie.remove(p, &v), pos.is_some());
+                    if let Some(pos) = pos {
+                        model.remove(pos);
+                    }
+                } else {
+                    let k = rng.gen_range_usize(0, model.len());
+                    let (p, v) = model.remove(k);
+                    assert!(trie.remove(p, &v));
+                }
+            } else {
+                let p = arb_prefix(&mut rng);
+                // Small value range forces duplicate prefixes to share a
+                // bucket and duplicate entries to be rejected.
+                let v = rng.gen_range_usize(0, 8) as u64;
+                let fresh = !model.contains(&(p, v));
+                assert_eq!(trie.insert(p, v), fresh);
+                if fresh {
+                    model.push((p, v));
+                }
+            }
+            assert_eq!(trie.len(), model.len());
+            for _ in 0..3 {
+                check_probe(&trie, &model, arb_ip(&mut rng));
+            }
+            // Base addresses of stored prefixes hit the deepest paths.
+            if !model.is_empty() {
+                let k = rng.gen_range_usize(0, model.len());
+                check_probe(&trie, &model, model[k].0.addr());
+            }
+        }
+        // The trie is canonical: churn must leave exactly the structure a
+        // fresh bulk load of the surviving entries produces.
+        let mut rebuilt: PrefixTrie<u64> = PrefixTrie::new();
+        let mut sorted = model.clone();
+        sorted.sort_unstable();
+        for (p, v) in &sorted {
+            rebuilt.insert(*p, *v);
+        }
+        assert_eq!(trie, rebuilt);
+        // Draining every entry empties the trie completely.
+        for (p, v) in &model {
+            assert!(trie.remove(*p, v));
+        }
+        assert!(trie.is_empty());
+        assert_eq!(trie.matches(0).count(), 0);
+    }
+}
+
+#[test]
+fn full_enumeration_matches_model() {
+    let mut rng = DetRng::seed_from_u64(0x7A1E_0002);
+    for _case in 0..50 {
+        let mut trie: PrefixTrie<u64> = PrefixTrie::new();
+        let mut model: Vec<(Prefix, u64)> = Vec::new();
+        for _ in 0..rng.gen_range_usize(0, 40) {
+            let (p, v) = (arb_prefix(&mut rng), rng.gen_range_usize(0, 8) as u64);
+            if trie.insert(p, v) {
+                model.push((p, v));
+            }
+        }
+        let mut got: Vec<(Prefix, u64)> = trie.iter().map(|(p, v)| (p, *v)).collect();
+        got.sort_unstable();
+        model.sort_unstable();
+        assert_eq!(got, model);
+    }
+}

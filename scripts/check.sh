@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full local gate: release build, test suite in both engine firing
-# disciplines, and lint-clean clippy. Run from the repository root before
-# sending a change out.
+# disciplines and with the prefix-trie access path disabled, and
+# lint-clean clippy. Run from the repository root before sending a change
+# out.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,4 +12,8 @@ cargo test --workspace -q
 # makes it the default discipline; the differential suites still compare
 # both explicitly).
 DP_UNBATCHED=1 cargo test --workspace -q
+# Third pass with the prefix-trie join access path disabled (DP_NO_TRIE=1
+# forces every trie-eligible step back onto the ordered scan), so the
+# whole suite also vouches for the fallback path.
+DP_NO_TRIE=1 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
