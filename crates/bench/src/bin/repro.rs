@@ -280,6 +280,14 @@ fn run_enginebench() {
         b.tuples_per_sec()
     );
     println!(
+        "  worker pool: serial {:.3}s vs {} threads {:.3}s -> {:.2}x ({} batches on the pool)",
+        b.indexed_secs,
+        b.threads,
+        b.parallel_secs,
+        b.parallel_speedup(),
+        b.parallel_batches
+    );
+    println!(
         "  prefix trie: {:.3}s with vs {:.3}s without -> {:.2}x batched, {:.2}x streamed ({} trie probes vs {} forced scans)",
         b.indexed_secs,
         b.scan_secs,

@@ -23,6 +23,13 @@ pub struct EngineBenchResult {
     /// Wall time of the batched indexed replay (seconds) — the default
     /// engine configuration, prefix trie enabled.
     pub indexed_secs: f64,
+    /// Wall time of the batched indexed replay on `threads` worker
+    /// threads (seconds).
+    pub parallel_secs: f64,
+    /// Worker threads used by the parallel leg.
+    pub threads: usize,
+    /// Delta batches the parallel leg fired on the worker pool.
+    pub parallel_batches: u64,
     /// Wall time of the indexed replay with tuple-at-a-time firing
     /// (seconds), prefix trie enabled.
     pub unbatched_secs: f64,
@@ -69,6 +76,13 @@ impl EngineBenchResult {
         self.unbatched_secs / self.indexed_secs.max(1e-12)
     }
 
+    /// Serial batched time over parallel batched time — what the worker
+    /// pool buys end-to-end (bounded by the machine's core count; 1.0x on
+    /// a single-CPU host).
+    pub fn parallel_speedup(&self) -> f64 {
+        self.indexed_secs / self.parallel_secs.max(1e-12)
+    }
+
     /// Trie-disabled time over trie-enabled time, batched discipline —
     /// what the prefix-trie access path buys end-to-end.
     pub fn trie_speedup(&self) -> f64 {
@@ -111,6 +125,7 @@ fn timed_replay(
     naive: bool,
     unbatched: bool,
     no_trie: bool,
+    threads: usize,
     runs: usize,
 ) -> Result<(Engine<VecSink>, f64)> {
     let mut best: Option<(Engine<VecSink>, f64)> = None;
@@ -119,6 +134,7 @@ fn timed_replay(
         eng.set_naive_join(naive);
         eng.set_unbatched(unbatched);
         eng.set_no_trie(no_trie);
+        eng.set_threads(threads);
         exec.log.schedule_into(&mut eng, None)?;
         let t = Instant::now();
         eng.run()?;
@@ -149,15 +165,22 @@ pub fn engine_bench(min_entries: usize, background_packets: usize) -> Result<Eng
     let c = campus(&cfg);
     let exec = &c.scenario.bad_exec;
 
+    // The serial legs are pinned to one thread so the PR 3 baseline stays
+    // comparable across revisions regardless of `DP_THREADS`; the
+    // parallel leg runs the same batched indexed configuration on a
+    // fixed-size worker pool.
+    let threads = 4;
     // One untimed warmup so the first timed leg doesn't pay the cold
     // page-cache / allocator penalty the later legs inherit for free.
-    timed_replay(exec, false, false, false, 1)?;
-    let (indexed, indexed_secs) = timed_replay(exec, false, false, false, 5)?;
-    let (unbatched, unbatched_secs) = timed_replay(exec, false, true, false, 5)?;
-    let (scan, scan_secs) = timed_replay(exec, false, false, true, 5)?;
-    let (unbatched_scan, unbatched_scan_secs) = timed_replay(exec, false, true, true, 5)?;
-    let (naive, naive_secs) = timed_replay(exec, true, true, false, 5)?;
+    timed_replay(exec, false, false, false, 1, 1)?;
+    let (indexed, indexed_secs) = timed_replay(exec, false, false, false, 1, 5)?;
+    let (parallel, parallel_secs) = timed_replay(exec, false, false, false, threads, 5)?;
+    let (unbatched, unbatched_secs) = timed_replay(exec, false, true, false, 1, 5)?;
+    let (scan, scan_secs) = timed_replay(exec, false, false, true, 1, 5)?;
+    let (unbatched_scan, unbatched_scan_secs) = timed_replay(exec, false, true, true, 1, 5)?;
+    let (naive, naive_secs) = timed_replay(exec, true, true, false, 1, 5)?;
     let streams_identical = indexed.sink().events == unbatched.sink().events
+        && indexed.sink().events == parallel.sink().events
         && indexed.sink().events == scan.sink().events
         && indexed.sink().events == unbatched_scan.sink().events
         && indexed.sink().events == naive.sink().events;
@@ -166,6 +189,9 @@ pub fn engine_bench(min_entries: usize, background_packets: usize) -> Result<Eng
         entries: c.entry_count,
         background_packets,
         indexed_secs,
+        parallel_secs,
+        threads,
+        parallel_batches: parallel.stats().parallel_batches,
         unbatched_secs,
         scan_secs,
         unbatched_scan_secs,
@@ -229,9 +255,9 @@ pub fn load_bench(min_entries: usize) -> Result<LoadBenchResult> {
     let c = campus(&cfg);
     let exec = &c.scenario.bad_exec;
 
-    timed_replay(exec, false, false, false, 1)?; // warmup, untimed
-    let (batched, batched_secs) = timed_replay(exec, false, false, false, 5)?;
-    let (streamed, streamed_secs) = timed_replay(exec, false, true, false, 5)?;
+    timed_replay(exec, false, false, false, 1, 1)?; // warmup, untimed
+    let (batched, batched_secs) = timed_replay(exec, false, false, false, 1, 5)?;
+    let (streamed, streamed_secs) = timed_replay(exec, false, true, false, 1, 5)?;
     Ok(LoadBenchResult {
         entries: c.entry_count,
         batched_secs,
@@ -351,8 +377,8 @@ pub fn fib_bench(min_entries: usize, queries: usize) -> Result<FibBenchResult> {
         );
     }
 
-    let (indexed, indexed_secs) = timed_replay(&exec, false, false, false, 3)?;
-    let (naive, naive_secs) = timed_replay(&exec, true, false, false, 3)?;
+    let (indexed, indexed_secs) = timed_replay(&exec, false, false, false, 1, 3)?;
+    let (naive, naive_secs) = timed_replay(&exec, true, false, false, 1, 3)?;
     Ok(FibBenchResult {
         entries: entries.len(),
         queries,
@@ -364,17 +390,20 @@ pub fn fib_bench(min_entries: usize, queries: usize) -> Result<FibBenchResult> {
     })
 }
 
-/// Replays one execution in five engine configurations — batched indexed
-/// (the default, trie on), tuple-at-a-time indexed, both of those with the
-/// prefix trie disabled, and tuple-at-a-time naive — and checks stream
-/// equality across the lot.
+/// Replays one execution in six engine configurations — batched indexed
+/// (the default, trie on), the same on a 4-thread worker pool,
+/// tuple-at-a-time indexed, both serial configurations with the prefix
+/// trie disabled, and tuple-at-a-time naive — and checks stream equality
+/// across the lot.
 fn exec_parity(exec: &Execution) -> Result<bool> {
-    let (indexed, _) = timed_replay(exec, false, false, false, 1)?;
-    let (unbatched, _) = timed_replay(exec, false, true, false, 1)?;
-    let (scan, _) = timed_replay(exec, false, false, true, 1)?;
-    let (unbatched_scan, _) = timed_replay(exec, false, true, true, 1)?;
-    let (naive, _) = timed_replay(exec, true, true, false, 1)?;
-    Ok(indexed.sink().events == unbatched.sink().events
+    let (indexed, _) = timed_replay(exec, false, false, false, 1, 1)?;
+    let (parallel, _) = timed_replay(exec, false, false, false, 4, 1)?;
+    let (unbatched, _) = timed_replay(exec, false, true, false, 1, 1)?;
+    let (scan, _) = timed_replay(exec, false, false, true, 1, 1)?;
+    let (unbatched_scan, _) = timed_replay(exec, false, true, true, 1, 1)?;
+    let (naive, _) = timed_replay(exec, true, true, false, 1, 1)?;
+    Ok(indexed.sink().events == parallel.sink().events
+        && indexed.sink().events == unbatched.sink().events
         && indexed.sink().events == scan.sink().events
         && indexed.sink().events == unbatched_scan.sink().events
         && indexed.sink().events == naive.sink().events)
@@ -447,6 +476,19 @@ pub fn to_json(
         bench.background_packets
     ));
     s.push_str(&format!("    \"indexed_secs\": {:.6},\n", bench.indexed_secs));
+    s.push_str(&format!(
+        "    \"parallel_secs\": {:.6},\n",
+        bench.parallel_secs
+    ));
+    s.push_str(&format!("    \"threads\": {},\n", bench.threads));
+    s.push_str(&format!(
+        "    \"parallel_batches\": {},\n",
+        bench.parallel_batches
+    ));
+    s.push_str(&format!(
+        "    \"parallel_speedup\": {:.2},\n",
+        bench.parallel_speedup()
+    ));
     s.push_str(&format!(
         "    \"unbatched_secs\": {:.6},\n",
         bench.unbatched_secs
@@ -562,6 +604,10 @@ mod tests {
         assert!(b.trie_scans > 0, "the scan leg must fall back");
         assert!(b.batches > 0, "the default run must batch");
         assert!(b.batched_deltas >= b.batches);
+        assert!(
+            b.parallel_batches > 0,
+            "the parallel leg must reach the worker pool"
+        );
         let f = fib_bench(2_000, 20).expect("fib bench runs");
         assert!(f.entries >= 2_000);
         assert!(f.streams_identical);
@@ -585,6 +631,8 @@ mod tests {
         assert!(json.contains("\"fib_lookup\""));
         assert!(json.contains("\"entries\""));
         assert!(json.contains("\"unbatched_secs\""));
+        assert!(json.contains("\"parallel_secs\""));
+        assert!(json.contains("\"parallel_speedup\""));
         assert!(json.contains("\"batch_speedup\""));
         assert!(json.contains("\"trie_speedup\""));
         assert!(json.contains("\"trie_probes\""));

@@ -64,9 +64,36 @@
 //! which flips the default for a whole test run) as the reference
 //! implementation for differential tests and benchmarks; batching
 //! amortizes trigger dispatch, join scratch space, and sink writes.
+//!
+//! # Parallel batch firing
+//!
+//! The firing phase of a batch flush never mutates node state: tables are
+//! frozen for the whole flush (mutations happen one event at a time in the
+//! serial apply loop, which is also the only place provenance events are
+//! emitted), and every firing writes only to its own delta's action
+//! buffer. That makes the firings embarrassingly parallel. With
+//! [`Engine::set_threads`] above 1 (or `DP_THREADS=n` in the environment)
+//! a flush large enough to be worth it splits the delta vector into
+//! contiguous chunks, a scoped worker pool claims chunks off a shared
+//! atomic cursor, and each worker fires its chunks against the shared
+//! read-only state ([`FireCtx`]) into per-delta buffers.
+//!
+//! Determinism survives because the merge is keyed by data, not by
+//! scheduling: per-delta buffers are written back into the batch's buffer
+//! vector at the delta's own index and then released in delta-arrival
+//! order — the (due, node, seq) order the serial path uses — with queue
+//! sequence numbers assigned serially during the release. Which thread
+//! fired a delta, and when, is unobservable. Join-effort counters are
+//! accumulated per worker and summed at the barrier (commutative, so
+//! totals match the serial path bit-for-bit), and worker-local tuple
+//! interning is re-normalized into the engine's store during the merge.
+//! `DP_THREADS=1` keeps the serial path; the differential suite in
+//! `crates/ndlog/tests/parallel_differential.rs` pins stream equality
+//! across thread counts.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use dp_types::{
@@ -493,11 +520,19 @@ impl<'a> NodeView<'a> {
             self.state.tables.get(table).and_then(|t| {
                 probes
                     .iter()
-                    .filter_map(|&(col, ip)| {
+                    .enumerate()
+                    .filter_map(|(pi, &(col, ip))| {
                         let slot = t.trie_specs.iter().position(|&c| c == col)?;
-                        Some((slot, ip))
+                        Some((slot, ip, pi))
                     })
-                    .min_by_key(|&(slot, ip)| self.state.estimate_prefix(table, slot, ip))
+                    // Estimate ties break on the trie slot (column order)
+                    // and then the caller's probe order — a total key, so
+                    // the pick (and the trie counters it drives) is stable
+                    // across platforms and std implementations.
+                    .min_by_key(|&(slot, ip, pi)| {
+                        (self.state.estimate_prefix(table, slot, ip), slot, pi)
+                    })
+                    .map(|(slot, ip, _)| (slot, ip))
             })
         };
         match slot {
@@ -617,6 +652,10 @@ pub struct Stats {
     pub batches: u64,
     /// Deltas fired through batches (0 in unbatched mode).
     pub batched_deltas: u64,
+    /// Delta batches fired on the worker pool (0 with one thread, in
+    /// unbatched mode, or when every batch was below the parallel
+    /// threshold). An effort counter: the streams are identical either way.
+    pub parallel_batches: u64,
 }
 
 impl Stats {
@@ -684,6 +723,63 @@ struct Delta {
     at: LogicalTime,
 }
 
+/// Batches smaller than this always fire serially, whatever the thread
+/// setting: dispatching a worker pool costs more than a handful of
+/// firings, and most batches (e.g. one packet event per timestamp) are
+/// tiny. The cutover only moves work between identical code paths — the
+/// per-delta buffers, and therefore the streams, do not change.
+const PAR_MIN_DELTAS: usize = 4;
+
+/// Work-stealing granularity: target chunks per worker. More chunks
+/// balance skewed (node, table) groups across the pool; fewer keep group
+/// runs intact so the trigger list is resolved once per run.
+const PAR_CHUNKS_PER_WORKER: usize = 8;
+
+/// Fallback state for firings addressed at a node that holds no tuples
+/// (e.g. a trigger delivered to a node nothing was ever stored on):
+/// joins find no candidates and builtin/native views see an empty node,
+/// exactly what a node whose tables were all emptied would show. This
+/// replaces the old `expect("node has state")` panics on those paths.
+static EMPTY_NODE_STATE: NodeState = NodeState {
+    tables: BTreeMap::new(),
+};
+
+/// The read-only half of the engine a rule firing needs: the program
+/// (plans, schemas, natives, builtins) and the frozen node states.
+/// Firing never mutates node state — actions are buffered per delta and
+/// applied serially afterwards — which is what lets a batch flush share
+/// one `FireCtx` across worker threads.
+struct FireCtx<'a> {
+    program: &'a Program,
+    nodes: &'a BTreeMap<NodeId, NodeState>,
+    naive_join: bool,
+    no_trie: bool,
+}
+
+/// Join-effort counters accumulated while firing, folded into [`Stats`]
+/// and the per-rule profile at the batch barrier
+/// ([`Engine::absorb_fire_stats`]). Each worker fills its own, so the
+/// parallel flush shares no counters; the fold is a commutative sum and
+/// the per-delta work is scheduling-independent, so the totals match the
+/// serial path exactly.
+#[derive(Default)]
+struct FireStats {
+    profile: BTreeMap<Sym, RuleJoinProfile>,
+}
+
+/// What one worker of a parallel flush hands back at the barrier.
+#[derive(Default)]
+struct WorkerOutput {
+    /// `(delta index, its scheduled actions)` for every delta of the
+    /// worker's chunks that produced any.
+    buffers: Vec<(usize, Vec<(LogicalTime, Action)>)>,
+    fstats: FireStats,
+    /// First error of the worker's earliest erroring chunk, keyed by the
+    /// chunk's starting delta index so the merge can pick the globally
+    /// earliest chunk — a scheduling-independent choice.
+    error: Option<(usize, Error)>,
+}
+
 /// True when the `DP_UNBATCHED` environment variable selects the tuple-at-
 /// a-time reference path as the default for newly built engines (any value
 /// but `0` counts). Read once per process so a test run is homogeneous.
@@ -698,6 +794,22 @@ fn default_unbatched() -> bool {
 fn default_no_trie() -> bool {
     static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *FLAG.get_or_init(|| std::env::var_os("DP_NO_TRIE").is_some_and(|v| v != *"0"))
+}
+
+/// Worker-thread default for newly built engines: the `DP_THREADS`
+/// environment variable when it parses to a positive count, else the
+/// machine's available parallelism capped at 8 (batch firing saturates
+/// long before wide machines run out of deltas). Read once per process so
+/// a test run is homogeneous.
+fn default_threads() -> usize {
+    static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *N.get_or_init(|| {
+        let env = std::env::var("DP_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1);
+        env.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get().min(8)))
+    })
 }
 
 /// The evaluator. See the module docs for semantics.
@@ -718,6 +830,8 @@ pub struct Engine<S: ProvenanceSink> {
     naive_join: bool,
     no_trie: bool,
     unbatched: bool,
+    /// Worker threads for batch firing (1 = the serial reference path).
+    threads: usize,
     /// Appearances of the current same-`due` batch, awaiting their rule
     /// firings (always empty in unbatched mode and at quiescence).
     pending: Vec<Delta>,
@@ -750,6 +864,7 @@ impl<S: ProvenanceSink> Engine<S> {
             naive_join: false,
             no_trie: default_no_trie(),
             unbatched: default_unbatched(),
+            threads: default_threads(),
             pending: Vec::new(),
             event_buf: Vec::new(),
             flush_buf: Vec::new(),
@@ -836,6 +951,24 @@ impl<S: ProvenanceSink> Engine<S> {
         self.unbatched
     }
 
+    /// Sets the worker-thread count for batch firing. `1` (the serial
+    /// reference path) fires every batch inline; higher counts fan large
+    /// batches out over a scoped worker pool with a deterministic merge at
+    /// the barrier — the provenance stream, the scheduled-event order, and
+    /// every join counter are bit-identical at any setting (see the module
+    /// docs). Only the batched path is affected; unbatched mode is always
+    /// serial. `DP_THREADS=n` in the environment sets the default for
+    /// every engine in the process, which is how `scripts/check.sh` runs
+    /// the suite at 1 and 4. A count of 0 is clamped to 1.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The worker-thread count for batch firing.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Consumes the engine, returning its sink (e.g. a finished graph
     /// builder).
     pub fn into_sink(self) -> S {
@@ -854,19 +987,25 @@ impl<S: ProvenanceSink> Engine<S> {
 
     /// Captures the engine's quiescent state for checkpointing.
     ///
-    /// Panics if events are still queued — checkpoints are only meaningful
-    /// at quiescence (call [`Engine::run`] first).
-    pub fn snapshot(&self) -> EngineSnapshot {
-        assert!(
-            self.queue.is_empty(),
-            "snapshot requires a quiescent engine"
-        );
-        EngineSnapshot {
+    /// Errors if events are still queued or a delta batch is still pending
+    /// — checkpoints are only meaningful at quiescence (call
+    /// [`Engine::run`] first): a snapshot that ignored in-flight events
+    /// would silently drop them from every replay resumed from it.
+    pub fn snapshot(&self) -> Result<EngineSnapshot> {
+        if !self.queue.is_empty() || !self.pending.is_empty() {
+            return Err(Error::Engine(format!(
+                "snapshot requires a quiescent engine: {} event(s) still queued and {} \
+                 delta(s) pending a flush (run to quiescence first)",
+                self.queue.len(),
+                self.pending.len()
+            )));
+        }
+        Ok(EngineSnapshot {
             nodes: self.nodes.clone(),
             dependents: self.dependents.clone(),
             clock: self.clock,
             seq: self.seq,
-        }
+        })
     }
 
     /// Reconstructs an engine from a checkpoint.
@@ -876,13 +1015,36 @@ impl<S: ProvenanceSink> Engine<S> {
     /// recorded up to that point). Secondary indexes are rebuilt against
     /// `program`'s index specs, so a snapshot taken under one program can
     /// be resumed under another with different plans.
-    pub fn restore(program: Arc<Program>, snap: EngineSnapshot, sink: S) -> Self {
+    ///
+    /// Errors if the snapshot's clock is behind events its own state has
+    /// already scheduled — a tuple appearance or derivation stamped later
+    /// than the clock. Resuming from such a (corrupt or hand-edited) state
+    /// would hand out logical times its tuples have already consumed,
+    /// breaking the strictly-increasing-timestamp invariant replay-based
+    /// provenance depends on.
+    pub fn restore(program: Arc<Program>, snap: EngineSnapshot, sink: S) -> Result<Self> {
+        for (node, state) in &snap.nodes {
+            for (tuple, ts) in state.all() {
+                let latest = ts
+                    .derivations
+                    .iter()
+                    .map(|d| d.time)
+                    .fold(ts.appeared_at, LogicalTime::max);
+                if latest > snap.clock {
+                    return Err(Error::Engine(format!(
+                        "snapshot clock {} is behind already-scheduled events: {tuple} at \
+                         {node} was recorded at {latest}",
+                        snap.clock
+                    )));
+                }
+            }
+        }
         let mut nodes = snap.nodes;
         for state in nodes.values_mut() {
             state.reindex(&program);
         }
         let live: u64 = nodes.values().map(|n| n.len() as u64).sum();
-        Engine {
+        Ok(Engine {
             program,
             nodes,
             dependents: snap.dependents,
@@ -901,12 +1063,13 @@ impl<S: ProvenanceSink> Engine<S> {
             naive_join: false,
             no_trie: default_no_trie(),
             unbatched: default_unbatched(),
+            threads: default_threads(),
             pending: Vec::new(),
             event_buf: Vec::new(),
             flush_buf: Vec::new(),
             fire_scratch: Vec::new(),
             max_events: 50_000_000,
-        }
+        })
     }
 
     /// A read-only view of `node`, if it has any state.
@@ -1094,10 +1257,9 @@ impl<S: ProvenanceSink> Engine<S> {
             tuple: Arc::clone(&tuple),
         });
         if gone {
-            self.nodes
-                .get_mut(&node)
-                .expect("node state exists")
-                .remove(&tuple);
+            if let Some(state) = self.nodes.get_mut(&node) {
+                state.remove(&tuple);
+            }
             self.note_disappear();
             self.emit_event(ProvEvent::Disappear {
                 time: now,
@@ -1225,10 +1387,9 @@ impl<S: ProvenanceSink> Engine<S> {
                 .and_then(|s| s.get(&head.tuple))
                 .map_or(0, |e| e.support());
             if support == 0 {
-                self.nodes
-                    .get_mut(&head.node)
-                    .expect("node state exists")
-                    .remove(&head.tuple);
+                if let Some(state) = self.nodes.get_mut(&head.node) {
+                    state.remove(&head.tuple);
+                }
                 self.note_disappear();
                 self.emit_event(ProvEvent::Disappear {
                     time: now,
@@ -1245,22 +1406,69 @@ impl<S: ProvenanceSink> Engine<S> {
     /// appearing at `node`, immediately (the tuple-at-a-time reference
     /// path). The batched path goes through [`Engine::flush_batch`].
     fn fire_triggers(&mut self, now: LogicalTime, node: &NodeId, tuple: &Arc<Tuple>) -> Result<()> {
-        let program = Arc::clone(&self.program);
         let mut out = std::mem::take(&mut self.fire_scratch);
-        for &(ri, ai) in program.rule_triggers(&tuple.table) {
-            let rule = program.rule_at(ri);
-            if rule.agg.is_some() {
-                // Aggregation rules fire only on their fence (atom 0).
-                if ai == 0 {
-                    self.fire_agg_rule(now, node, tuple, rule, ri, LogicalTime::MAX, &mut out)?;
+        let mut fstats = FireStats::default();
+        let ctx = FireCtx {
+            program: &self.program,
+            nodes: &self.nodes,
+            naive_join: self.naive_join,
+            no_trie: self.no_trie,
+        };
+        let mut res = Ok(());
+        'firings: {
+            for &(ri, ai) in ctx.program.rule_triggers(&tuple.table) {
+                let rule = ctx.program.rule_at(ri);
+                res = if rule.agg.is_some() {
+                    // Aggregation rules fire only on their fence (atom 0).
+                    if ai != 0 {
+                        continue;
+                    }
+                    ctx.fire_agg_rule(
+                        now,
+                        node,
+                        tuple,
+                        rule,
+                        ri,
+                        LogicalTime::MAX,
+                        &mut self.store,
+                        &mut fstats,
+                        &mut out,
+                    )
+                } else {
+                    ctx.fire_rule(
+                        now,
+                        node,
+                        tuple,
+                        rule,
+                        ri,
+                        ai,
+                        LogicalTime::MAX,
+                        &mut self.store,
+                        &mut fstats,
+                        &mut out,
+                    )
+                };
+                if res.is_err() {
+                    break 'firings;
                 }
-            } else {
-                self.fire_rule(now, node, tuple, rule, ri, ai, LogicalTime::MAX, &mut out)?;
+            }
+            for &ni in ctx.program.native_triggers(&tuple.table) {
+                res = ctx.fire_native(
+                    now,
+                    node,
+                    tuple,
+                    ni,
+                    LogicalTime::MAX,
+                    &mut self.store,
+                    &mut out,
+                );
+                if res.is_err() {
+                    break 'firings;
+                }
             }
         }
-        for &ni in program.native_triggers(&tuple.table) {
-            self.fire_native(now, node, tuple, ni, LogicalTime::MAX, &mut out)?;
-        }
+        self.absorb_fire_stats(fstats);
+        res?;
         for (due, action) in out.drain(..) {
             self.push(due, action);
         }
@@ -1268,39 +1476,26 @@ impl<S: ProvenanceSink> Engine<S> {
         Ok(())
     }
 
-    /// Fires native rule `ni` for `tuple` at `node`, appending the
-    /// scheduled actions to `out`.
-    fn fire_native(
-        &mut self,
-        now: LogicalTime,
-        node: &NodeId,
-        tuple: &Arc<Tuple>,
-        ni: usize,
-        as_of: LogicalTime,
-        out: &mut Vec<(LogicalTime, Action)>,
-    ) -> Result<()> {
-        let native = Arc::clone(self.program.native_at(ni));
-        let mut emitter = Emitter::default();
-        {
-            let state = self.nodes.get(node).expect("trigger node has state");
-            let view = NodeView { node, state, as_of, no_trie: self.no_trie };
-            native.fire(&view, tuple, &mut emitter)?;
+    /// Folds firing-time join counters into the run stats and the per-rule
+    /// profile. The sums are commutative, so one accumulator filled
+    /// serially and several filled by workers produce identical totals.
+    fn absorb_fire_stats(&mut self, fstats: FireStats) {
+        for (rule, p) in fstats.profile {
+            self.stats.join_probes += p.probes;
+            self.stats.join_scans += p.scans;
+            self.stats.trie_probes += p.trie_probes;
+            self.stats.trie_scans += p.trie_scans;
+            self.stats.join_candidates += p.candidates;
+            self.stats.join_matches += p.matches;
+            let entry = self.join_profile.entry(rule).or_default();
+            entry.attempts += p.attempts;
+            entry.probes += p.probes;
+            entry.scans += p.scans;
+            entry.trie_probes += p.trie_probes;
+            entry.trie_scans += p.trie_scans;
+            entry.candidates += p.candidates;
+            entry.matches += p.matches;
         }
-        for em in emitter.emissions {
-            self.program.schemas.check(&em.tuple)?;
-            let head = self.store.intern(em.tuple);
-            out.push((
-                now + em.delay,
-                Action::InsertDerived {
-                    node: em.node,
-                    tuple: head,
-                    rule: native.name(),
-                    body: em.body,
-                    trigger: 0,
-                },
-            ));
-        }
-        Ok(())
     }
 
     /// Fires the rules of every delta accumulated in the current batch,
@@ -1309,12 +1504,19 @@ impl<S: ProvenanceSink> Engine<S> {
     /// Evaluation is grouped: consecutive deltas of one (node, table) run
     /// — the delta relation of semi-naive evaluation — share one walk of
     /// the trigger list, so a bulk insertion resolves its rule set and
-    /// join plans once instead of once per tuple. Scheduled actions are
-    /// buffered per delta and pushed in delta-arrival order afterwards,
-    /// which reproduces the exact push (and therefore pop) sequence of
-    /// the tuple-at-a-time path; each delta fires with its own `now` and
-    /// `as_of` horizon so joins, builtins, and natives observe the state
-    /// as of that delta's appearance.
+    /// join plans once instead of once per tuple (see [`fire_deltas`]).
+    /// Scheduled actions are buffered per delta and pushed in
+    /// delta-arrival order afterwards, which reproduces the exact push
+    /// (and therefore pop) sequence of the tuple-at-a-time path; each
+    /// delta fires with its own `now` and `as_of` horizon so joins,
+    /// builtins, and natives observe the state as of that delta's
+    /// appearance.
+    ///
+    /// Node state is frozen for the whole firing phase, so a batch above
+    /// the [`PAR_MIN_DELTAS`] threshold fans its deltas out over a worker
+    /// pool when [`Engine::threads`] exceeds 1; the per-delta buffers and
+    /// the push order — and hence the provenance stream — are identical
+    /// either way.
     fn flush_batch(&mut self) -> Result<()> {
         if !self.pending.is_empty() {
             let deltas = std::mem::take(&mut self.pending);
@@ -1327,74 +1529,28 @@ impl<S: ProvenanceSink> Engine<S> {
             if buf.len() < deltas.len() {
                 buf.resize_with(deltas.len(), Vec::new);
             }
-            let program = Arc::clone(&self.program);
-            let mut start = 0;
-            while start < deltas.len() {
-                let mut end = start + 1;
-                while end < deltas.len()
-                    && deltas[end].node == deltas[start].node
-                    && deltas[end].tuple.table == deltas[start].tuple.table
-                {
-                    end += 1;
-                }
-                let group = &deltas[start..end];
-                let table = &group[0].tuple.table;
-                for &(ri, ai) in program.rule_triggers(table) {
-                    let rule = program.rule_at(ri);
-                    // Batch-level pruning: within a batch tables only ever
-                    // grow (deletions force a flush first, and there is no
-                    // in-place replacement), so a body table that is empty
-                    // at flush time was empty at every delta's horizon —
-                    // the join cannot complete for any delta in the group.
-                    // Skipping it here saves one trigger match and one
-                    // doomed join per delta. Only join effort counters
-                    // (probes/scans/candidates) shrink; a pruned join can
-                    // never have produced a match or a derivation.
-                    if rule.agg.is_none() {
-                        let state = self.nodes.get(&group[0].node);
-                        let dead = rule.body.iter().enumerate().any(|(bi, a)| {
-                            bi != ai && state.is_none_or(|s| s.table_empty(&a.table))
-                        });
-                        if dead {
-                            continue;
-                        }
-                    }
-                    if rule.agg.is_some() {
-                        if ai == 0 {
-                            for (di, d) in group.iter().enumerate() {
-                                self.fire_agg_rule(
-                                    d.at,
-                                    &d.node,
-                                    &d.tuple,
-                                    rule,
-                                    ri,
-                                    d.at,
-                                    &mut buf[start + di],
-                                )?;
-                            }
-                        }
-                    } else {
-                        for (di, d) in group.iter().enumerate() {
-                            self.fire_rule(
-                                d.at,
-                                &d.node,
-                                &d.tuple,
-                                rule,
-                                ri,
-                                ai,
-                                d.at,
-                                &mut buf[start + di],
-                            )?;
-                        }
-                    }
-                }
-                let natives = program.native_triggers(table);
-                for (di, d) in group.iter().enumerate() {
-                    for &ni in natives {
-                        self.fire_native(d.at, &d.node, &d.tuple, ni, d.at, &mut buf[start + di])?;
-                    }
-                }
-                start = end;
+            let fired = if self.threads > 1 && deltas.len() >= PAR_MIN_DELTAS {
+                self.fire_batch_parallel(&deltas, &mut buf)
+            } else {
+                let mut fstats = FireStats::default();
+                let ctx = FireCtx {
+                    program: &self.program,
+                    nodes: &self.nodes,
+                    naive_join: self.naive_join,
+                    no_trie: self.no_trie,
+                };
+                let res = ctx.fire_deltas(
+                    &deltas,
+                    &mut self.store,
+                    &mut fstats,
+                    &mut buf[..deltas.len()],
+                );
+                self.absorb_fire_stats(fstats);
+                res
+            };
+            if let Err(e) = fired {
+                self.flush_buf = buf;
+                return Err(e);
             }
             for actions in buf.iter_mut().take(deltas.len()) {
                 for (due, action) in actions.drain(..) {
@@ -1408,6 +1564,255 @@ impl<S: ProvenanceSink> Engine<S> {
             self.sink.record_batch(&mut events);
             events.clear();
             self.event_buf = events;
+        }
+        Ok(())
+    }
+
+    /// Fires one batch's deltas on a scoped worker pool.
+    ///
+    /// The delta vector is cut into contiguous chunks (about
+    /// [`PAR_CHUNKS_PER_WORKER`] per worker, so a skewed group cannot
+    /// serialize the pool) and workers claim chunks off an atomic cursor.
+    /// Each worker fires its chunks against the shared frozen state into
+    /// per-delta buffers, interning derived heads into a worker-local
+    /// store and counting join effort into worker-local profiles. The
+    /// merge is deterministic by construction — buffers land at their
+    /// delta's index, counter sums are commutative, and worker-local
+    /// tuples are re-interned into the engine's store — so nothing about
+    /// thread scheduling can reach the queue or the provenance stream.
+    ///
+    /// Errors: within a chunk, firing stops at the first error exactly
+    /// like the serial walk; across chunks the merge reports the error of
+    /// the earliest (lowest delta index) erroring chunk. Which of several
+    /// simultaneous errors wins is therefore scheduling-independent,
+    /// though it may legitimately differ from the serial path's pick (the
+    /// serial walk would have stopped before reaching a later group);
+    /// either way no action of the failed batch is released, and the
+    /// provenance of already-applied events is flushed by [`Engine::run`]
+    /// just as on the serial path.
+    fn fire_batch_parallel(
+        &mut self,
+        deltas: &[Delta],
+        buf: &mut [Vec<(LogicalTime, Action)>],
+    ) -> Result<()> {
+        self.stats.parallel_batches += 1;
+        let chunk = deltas
+            .len()
+            .div_ceil(self.threads * PAR_CHUNKS_PER_WORKER)
+            .max(1);
+        let chunks = deltas.len().div_ceil(chunk);
+        let workers = self.threads.min(chunks);
+        let cursor = AtomicUsize::new(0);
+        let ctx = FireCtx {
+            program: &self.program,
+            nodes: &self.nodes,
+            naive_join: self.naive_join,
+            no_trie: self.no_trie,
+        };
+        let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut wo = WorkerOutput::default();
+                        let mut store = TupleStore::new();
+                        loop {
+                            let c = cursor.fetch_add(1, Ordering::Relaxed);
+                            if c >= chunks {
+                                break;
+                            }
+                            let lo = c * chunk;
+                            let hi = deltas.len().min(lo + chunk);
+                            let mut local: Vec<Vec<(LogicalTime, Action)>> =
+                                vec![Vec::new(); hi - lo];
+                            let res = ctx.fire_deltas(
+                                &deltas[lo..hi],
+                                &mut store,
+                                &mut wo.fstats,
+                                &mut local,
+                            );
+                            for (off, actions) in local.into_iter().enumerate() {
+                                if !actions.is_empty() {
+                                    wo.buffers.push((lo + off, actions));
+                                }
+                            }
+                            if let Err(e) = res {
+                                // Keep draining chunks (some worker must
+                                // claim every chunk so the earliest error
+                                // is found), but remember only the
+                                // earliest one this worker saw.
+                                if wo.error.as_ref().is_none_or(|&(at, _)| lo < at) {
+                                    wo.error = Some((lo, e));
+                                }
+                            }
+                        }
+                        wo
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        });
+        let mut first_error: Option<(usize, Error)> = None;
+        for wo in outputs {
+            self.absorb_fire_stats(wo.fstats);
+            if let Some((at, e)) = wo.error {
+                if first_error.as_ref().is_none_or(|&(best, _)| at < best) {
+                    first_error = Some((at, e));
+                }
+            }
+            for (idx, mut actions) in wo.buffers {
+                for (_, action) in &mut actions {
+                    if let Action::InsertDerived { tuple, .. } = action {
+                        // Derived heads were interned into a worker-local
+                        // store; re-normalize into the engine's store so
+                        // cross-batch deduplication keeps one allocation
+                        // per distinct tuple (identity only — all tuple
+                        // comparisons are by value).
+                        *tuple = self.store.intern_arc(Arc::clone(tuple));
+                    }
+                }
+                buf[idx] = actions;
+            }
+        }
+        match first_error {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+}
+
+impl FireCtx<'_> {
+    /// Fires every rule and native triggered by `deltas` — a contiguous
+    /// slice of one batch — appending each delta's scheduled actions to
+    /// the `buf` entry of the same index. Both the serial flush (the whole
+    /// batch in one call) and each parallel chunk run exactly this walk.
+    ///
+    /// Evaluation is grouped over consecutive same-(node, table) runs so
+    /// the trigger list is resolved once per run, and a whole run is
+    /// pruned for a rule whose partner table is empty. A chunk boundary
+    /// may split a run in two; that is invisible in the output — state is
+    /// frozen, so the re-resolved triggers and the re-taken pruning
+    /// decision are identical, every firing writes only to its own
+    /// delta's buffer, and pruning never affects counters (a pruned join
+    /// examines no candidates).
+    fn fire_deltas(
+        &self,
+        deltas: &[Delta],
+        store: &mut TupleStore,
+        fstats: &mut FireStats,
+        buf: &mut [Vec<(LogicalTime, Action)>],
+    ) -> Result<()> {
+        let mut start = 0;
+        while start < deltas.len() {
+            let mut end = start + 1;
+            while end < deltas.len()
+                && deltas[end].node == deltas[start].node
+                && deltas[end].tuple.table == deltas[start].tuple.table
+            {
+                end += 1;
+            }
+            let group = &deltas[start..end];
+            let table = &group[0].tuple.table;
+            for &(ri, ai) in self.program.rule_triggers(table) {
+                let rule = self.program.rule_at(ri);
+                // Batch-level pruning: within a batch tables only ever
+                // grow (deletions force a flush first, and there is no
+                // in-place replacement), so a body table that is empty
+                // at flush time was empty at every delta's horizon —
+                // the join cannot complete for any delta in the group.
+                // Skipping it here saves one trigger match and one
+                // doomed join per delta. Only join effort counters
+                // (probes/scans/candidates) shrink; a pruned join can
+                // never have produced a match or a derivation.
+                if rule.agg.is_none() {
+                    let state = self.nodes.get(&group[0].node);
+                    let dead = rule.body.iter().enumerate().any(|(bi, a)| {
+                        bi != ai && state.is_none_or(|s| s.table_empty(&a.table))
+                    });
+                    if dead {
+                        continue;
+                    }
+                }
+                if rule.agg.is_some() {
+                    if ai == 0 {
+                        for (di, d) in group.iter().enumerate() {
+                            self.fire_agg_rule(
+                                d.at,
+                                &d.node,
+                                &d.tuple,
+                                rule,
+                                ri,
+                                d.at,
+                                store,
+                                fstats,
+                                &mut buf[start + di],
+                            )?;
+                        }
+                    }
+                } else {
+                    for (di, d) in group.iter().enumerate() {
+                        self.fire_rule(
+                            d.at,
+                            &d.node,
+                            &d.tuple,
+                            rule,
+                            ri,
+                            ai,
+                            d.at,
+                            store,
+                            fstats,
+                            &mut buf[start + di],
+                        )?;
+                    }
+                }
+            }
+            for &ni in self.program.native_triggers(table) {
+                for (di, d) in group.iter().enumerate() {
+                    self.fire_native(d.at, &d.node, &d.tuple, ni, d.at, store, &mut buf[start + di])?;
+                }
+            }
+            start = end;
+        }
+        Ok(())
+    }
+
+    /// Fires native rule `ni` for `tuple` at `node`, appending the
+    /// scheduled actions to `out`. A node without state gets an empty
+    /// view (see [`EMPTY_NODE_STATE`]).
+    #[allow(clippy::too_many_arguments)]
+    fn fire_native(
+        &self,
+        now: LogicalTime,
+        node: &NodeId,
+        tuple: &Arc<Tuple>,
+        ni: usize,
+        as_of: LogicalTime,
+        store: &mut TupleStore,
+        out: &mut Vec<(LogicalTime, Action)>,
+    ) -> Result<()> {
+        let native = self.program.native_at(ni);
+        let mut emitter = Emitter::default();
+        {
+            let state = self.nodes.get(node).unwrap_or(&EMPTY_NODE_STATE);
+            let view = NodeView { node, state, as_of, no_trie: self.no_trie };
+            native.fire(&view, tuple, &mut emitter)?;
+        }
+        for em in emitter.emissions {
+            self.program.schemas.check(&em.tuple)?;
+            let head = store.intern(em.tuple);
+            out.push((
+                now + em.delay,
+                Action::InsertDerived {
+                    node: em.node,
+                    tuple: head,
+                    rule: native.name(),
+                    body: em.body,
+                    trigger: 0,
+                },
+            ));
         }
         Ok(())
     }
@@ -1431,11 +1836,11 @@ impl<S: ProvenanceSink> Engine<S> {
 
     /// Runs the join for `(rule, trigger)` from `env`, returning complete
     /// matches in the naive nested-loop enumeration order (see module
-    /// docs), and records the join counters against the rule. Only body
-    /// tuples that appeared no later than `as_of` participate.
+    /// docs), and records the join counters against the rule in `fstats`.
+    /// Only body tuples that appeared no later than `as_of` participate.
     #[allow(clippy::too_many_arguments)]
     fn collect_matches(
-        &mut self,
+        &self,
         node: &NodeId,
         tuple: &Arc<Tuple>,
         rule: &Rule,
@@ -1443,6 +1848,7 @@ impl<S: ProvenanceSink> Engine<S> {
         trigger_idx: usize,
         mut env: Env,
         as_of: LogicalTime,
+        fstats: &mut FireStats,
     ) -> Vec<(Env, Vec<Arc<Tuple>>)> {
         let Some(state) = self.nodes.get(node) else {
             return Vec::new();
@@ -1478,13 +1884,7 @@ impl<S: ProvenanceSink> Engine<S> {
             // atoms in body order exactly as the nested loop emits them).
             matches.sort_by(|a, b| a.1.cmp(&b.1));
         }
-        self.stats.join_probes += counters.probes;
-        self.stats.join_scans += counters.scans;
-        self.stats.trie_probes += counters.trie_probes;
-        self.stats.trie_scans += counters.trie_scans;
-        self.stats.join_candidates += counters.candidates;
-        self.stats.join_matches += counters.matches;
-        let profile = self.join_profile.entry(rule.name.clone()).or_default();
+        let profile = fstats.profile.entry(rule.name.clone()).or_default();
         profile.attempts += 1;
         profile.probes += counters.probes;
         profile.scans += counters.scans;
@@ -1500,7 +1900,7 @@ impl<S: ProvenanceSink> Engine<S> {
     /// `as_of`, appending the scheduled actions to `out`.
     #[allow(clippy::too_many_arguments)]
     fn fire_rule(
-        &mut self,
+        &self,
         now: LogicalTime,
         node: &NodeId,
         tuple: &Arc<Tuple>,
@@ -1508,12 +1908,14 @@ impl<S: ProvenanceSink> Engine<S> {
         ri: usize,
         trigger_idx: usize,
         as_of: LogicalTime,
+        store: &mut TupleStore,
+        fstats: &mut FireStats,
         out: &mut Vec<(LogicalTime, Action)>,
     ) -> Result<()> {
         let Some(env) = Self::match_trigger(node, tuple, rule, trigger_idx) else {
             return Ok(());
         };
-        let matches = self.collect_matches(node, tuple, rule, ri, trigger_idx, env, as_of);
+        let matches = self.collect_matches(node, tuple, rule, ri, trigger_idx, env, as_of, fstats);
 
         for (mut env, body_tuples) in matches {
             if let Err(e) = rule.run_assigns(&mut env) {
@@ -1545,12 +1947,12 @@ impl<S: ProvenanceSink> Engine<S> {
                         Err(e) => return Err(e),
                     },
                     Constraint::Builtin { name, args } => {
-                        let builtin = Arc::clone(self.program.builtin(name)?);
+                        let builtin = self.program.builtin(name)?;
                         let mut vals = Vec::with_capacity(args.len());
                         for a in args {
                             vals.push(a.eval(&env)?);
                         }
-                        let state = self.nodes.get(node).expect("node has state");
+                        let state = self.nodes.get(node).unwrap_or(&EMPTY_NODE_STATE);
                         let view = NodeView { node, state, as_of, no_trie: self.no_trie };
                         if !builtin.eval(&view, &vals)? {
                             satisfied = false;
@@ -1570,7 +1972,7 @@ impl<S: ProvenanceSink> Engine<S> {
             }
             let head = Tuple::new(rule.head.table.clone(), head_args);
             self.program.schemas.check(&head)?;
-            let head = self.store.intern(head);
+            let head = store.intern(head);
             let body: Vec<TupleRef> = body_tuples
                 .into_iter()
                 .map(|t| TupleRef::new(node.clone(), t))
@@ -1589,9 +1991,6 @@ impl<S: ProvenanceSink> Engine<S> {
         }
         Ok(())
     }
-}
-
-impl<S: ProvenanceSink> Engine<S> {
     /// Fires an aggregation rule: the fence `tuple` appeared at `node`;
     /// scan and join the remaining body atoms against the node's current
     /// state, group the bindings by the non-aggregate head arguments, fold
@@ -1599,20 +1998,22 @@ impl<S: ProvenanceSink> Engine<S> {
     /// body of each derivation is the fence plus every contributing tuple.
     #[allow(clippy::too_many_arguments)]
     fn fire_agg_rule(
-        &mut self,
+        &self,
         now: LogicalTime,
         node: &NodeId,
         tuple: &Arc<Tuple>,
         rule: &Rule,
         ri: usize,
         as_of: LogicalTime,
+        store: &mut TupleStore,
+        fstats: &mut FireStats,
         out: &mut Vec<(LogicalTime, Action)>,
     ) -> Result<()> {
         let spec = rule.agg.clone().expect("caller checked");
         let Some(env) = Self::match_trigger(node, tuple, rule, 0) else {
             return Ok(());
         };
-        let matches = self.collect_matches(node, tuple, rule, ri, 0, env, as_of);
+        let matches = self.collect_matches(node, tuple, rule, ri, 0, env, as_of, fstats);
 
         // Group the bindings. Key: head location + non-aggregate head args.
         type Group = (Vec<Value>, Option<i64>, Vec<TupleRef>);
@@ -1637,12 +2038,12 @@ impl<S: ProvenanceSink> Engine<S> {
                         Err(e) => return Err(e),
                     },
                     Constraint::Builtin { name, args } => {
-                        let builtin = Arc::clone(self.program.builtin(name)?);
+                        let builtin = self.program.builtin(name)?;
                         let mut vals = Vec::with_capacity(args.len());
                         for a in args {
                             vals.push(a.eval(&env)?);
                         }
-                        let state = self.nodes.get(node).expect("node has state");
+                        let state = self.nodes.get(node).unwrap_or(&EMPTY_NODE_STATE);
                         let view = NodeView { node, state, as_of, no_trie: self.no_trie };
                         if !builtin.eval(&view, &vals)? {
                             continue 'bindings;
@@ -1686,7 +2087,7 @@ impl<S: ProvenanceSink> Engine<S> {
             let head_node = NodeId(loc.as_str()?.clone());
             let head = Tuple::new(rule.head.table.clone(), head_args);
             self.program.schemas.check(&head)?;
-            let head = self.store.intern(head);
+            let head = store.intern(head);
             let delay = if head_node == *node { 0 } else { rule.link_delay };
             out.push((
                 now + delay,
@@ -1841,13 +2242,17 @@ fn join_with_plan(
     // value falls back to the scan so the constraint raises the same type
     // error the reference path would). With several constrained columns the
     // most selective trie — fewest candidates for this execution's address,
-    // estimated by an O(32) bucket-count walk — is probed; ties keep
-    // rule-constraint order. The choice only prunes differently, never
-    // changes the re-sorted match set, so any pick is stream-identical.
+    // estimated by an O(32) bucket-count walk — is probed. Estimate ties
+    // break on the trie slot (column order) and then on constraint order:
+    // a total, value-determined key, so the pick — and the trie-counter
+    // split it drives — is stable across platforms. The choice only prunes
+    // differently, never changes the re-sorted match set, so any pick is
+    // stream-identical; only the counters demand the fixed tie-break.
     let trie_probe = if use_trie {
         step.prefixes
             .iter()
-            .filter_map(|p| {
+            .enumerate()
+            .filter_map(|(pi, p)| {
                 let addr = match &p.ip {
                     IpSource::Var(v) => env
                         .get(v)
@@ -1856,15 +2261,15 @@ fn join_with_plan(
                     IpSource::Const(v) => v.clone(),
                 };
                 match addr {
-                    Value::Ip(ip) => Some((p.trie_slot, ip)),
+                    Value::Ip(ip) => Some((p.trie_slot, ip, pi)),
                     _ => None,
                 }
             })
-            .min_by_key(|&(slot, ip)| state.estimate_prefix(&atom.table, slot, ip))
+            .min_by_key(|&(slot, ip, pi)| (state.estimate_prefix(&atom.table, slot, ip), slot, pi))
     } else {
         None
     };
-    if let Some((slot, ip)) = trie_probe {
+    if let Some((slot, ip, _)) = trie_probe {
         counters.trie_probes += 1;
         join_candidates!(state.probe_prefix(&atom.table, slot, ip, as_of));
     } else {
@@ -2210,8 +2615,8 @@ mod tests {
             eng.schedule_insert(0, n.clone(), tuple!("a", i, i)).unwrap();
         }
         eng.run().unwrap();
-        let snap = eng.snapshot();
-        let mut eng2 = Engine::restore(fig4_program(), snap, VecSink::default());
+        let snap = eng.snapshot().unwrap();
+        let mut eng2 = Engine::restore(fig4_program(), snap, VecSink::default()).unwrap();
         for i in 0..5 {
             eng2.schedule_insert(1000, n.clone(), tuple!("b", i, i, i)).unwrap();
         }
@@ -2221,5 +2626,63 @@ mod tests {
         }
         // The restored engine's joins still probe indexes.
         assert!(eng2.stats().join_probes > 0);
+    }
+
+    #[test]
+    fn restore_rejects_snapshot_with_lagging_clock() {
+        let mut eng = Engine::new(fig4_program(), VecSink::default());
+        let n = NodeId::new("n1");
+        eng.schedule_insert(10, n.clone(), tuple!("a", 1, 2)).unwrap();
+        eng.schedule_insert(10, n.clone(), tuple!("b", 1, 2, 3)).unwrap();
+        eng.run().unwrap();
+        let mut snap = eng.snapshot().unwrap();
+        // Forge a clock behind the events the snapshot's own state has
+        // already scheduled (tuples appeared/derived later than it).
+        snap.clock = 0;
+        let err = Engine::restore(fig4_program(), snap, VecSink::default())
+            .err()
+            .expect("restore with a lagging clock must fail");
+        assert!(
+            err.to_string().contains("behind already-scheduled events"),
+            "{err}"
+        );
+        // An unforged snapshot of the same run restores fine.
+        let snap = eng.snapshot().unwrap();
+        assert!(Engine::restore(fig4_program(), snap, VecSink::default()).is_ok());
+    }
+
+    #[test]
+    fn parallel_flush_matches_serial_stream_and_counters() {
+        let run = |threads: usize| {
+            let mut eng = Engine::new(fig4_program(), VecSink::default());
+            // Pin the batched discipline: the worker pool only serves
+            // batch flushes, so a DP_UNBATCHED=1 run would never engage it.
+            eng.set_unbatched(false);
+            eng.set_threads(threads);
+            let n = NodeId::new("n1");
+            for i in 0..30 {
+                eng.schedule_insert(0, n.clone(), tuple!("a", i % 5, i % 3)).unwrap();
+                eng.schedule_insert(0, n.clone(), tuple!("b", i % 5, i % 3, i)).unwrap();
+            }
+            for i in 0..10 {
+                eng.schedule_delete(100, n.clone(), tuple!("b", i % 5, i % 3, i)).unwrap();
+            }
+            let stats = eng.run().unwrap();
+            let profile = eng.join_profile().clone();
+            (eng.into_sink().events, stats, profile)
+        };
+        let (serial_events, serial_stats, serial_profile) = run(1);
+        assert_eq!(serial_stats.parallel_batches, 0);
+        for threads in [2, 4] {
+            let (events, stats, profile) = run(threads);
+            assert_eq!(events, serial_events, "threads={threads}");
+            assert!(stats.parallel_batches > 0, "pool never engaged: {stats:?}");
+            assert_eq!(
+                Stats { parallel_batches: 0, ..stats },
+                Stats { parallel_batches: 0, ..serial_stats },
+                "threads={threads}"
+            );
+            assert_eq!(profile, serial_profile, "threads={threads}");
+        }
     }
 }

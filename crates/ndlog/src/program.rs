@@ -142,6 +142,15 @@ pub struct Program {
     plans: PlanSet,
 }
 
+// Batch workers read the program concurrently through a shared
+// reference (see `engine.rs`, "Parallel batch firing"); `NativeRule`
+// and `StatefulBuiltin` carry `Send + Sync` bounds for exactly this.
+// Keep the whole program thread-shareable, checked at compile time.
+const _: () = {
+    const fn assert_sync<T: Send + Sync>() {}
+    assert_sync::<Program>();
+};
+
 impl fmt::Debug for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Program")

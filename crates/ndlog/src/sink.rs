@@ -7,6 +7,19 @@
 //! explicitly (the instrumentation-hooks mode); and the external-
 //! specification mode replays observations through a specification program,
 //! producing the same event stream.
+//!
+//! # Sinks and the parallel batch flush
+//!
+//! Sinks are deliberately *not* required to be thread-safe, and the
+//! engine never calls one from a worker thread. Under the parallel flush
+//! (`DP_THREADS`, see `engine.rs`), workers only run the read-only
+//! *firing* phase and hand back per-delta action buffers; every
+//! [`ProvEvent`] is produced in the serial *apply* phase, buffered in
+//! stream order, and flushed through [`ProvenanceSink::record_batch`] at
+//! the batch boundary. The order a sink observes is therefore keyed by
+//! the data (due time, delta arrival order, firing order) — never by
+//! thread scheduling — which is what keeps the stream bit-identical
+//! across `DP_THREADS` settings.
 
 use std::sync::Arc;
 

@@ -211,6 +211,7 @@ fn strip_effort_counters(stats: dp_ndlog::Stats) -> dp_ndlog::Stats {
     dp_ndlog::Stats {
         batches: 0,
         batched_deltas: 0,
+        parallel_batches: 0,
         join_probes: 0,
         join_scans: 0,
         join_candidates: 0,

@@ -37,6 +37,12 @@ pub struct Execution {
     /// the prefix trie. Like the other flags, both modes are observably
     /// identical; the flag exists for differential checks and benchmarks.
     pub no_trie: bool,
+    /// Worker threads for the engines this execution builds. `0` (the
+    /// default) leaves the engine's own default in place — the `DP_THREADS`
+    /// environment variable, or the machine's available parallelism. Like
+    /// the other flags, every setting replays the identical provenance
+    /// stream; `1` pins the serial reference path for differential checks.
+    pub threads: usize,
 }
 
 /// The outcome of a replay: a quiescent engine plus the provenance graph
@@ -83,6 +89,7 @@ impl Execution {
             naive_join: false,
             unbatched: false,
             no_trie: false,
+            threads: 0,
         }
     }
 
@@ -97,6 +104,9 @@ impl Execution {
         engine.set_naive_join(self.naive_join);
         engine.set_unbatched(self.unbatched || engine.unbatched());
         engine.set_no_trie(self.no_trie || engine.no_trie());
+        if self.threads != 0 {
+            engine.set_threads(self.threads);
+        }
         self.log.schedule_into(&mut engine, until)?;
         engine.run()?;
         Ok(Replayed { engine })
@@ -109,6 +119,9 @@ impl Execution {
         engine.set_naive_join(self.naive_join);
         engine.set_unbatched(self.unbatched || engine.unbatched());
         engine.set_no_trie(self.no_trie || engine.no_trie());
+        if self.threads != 0 {
+            engine.set_threads(self.threads);
+        }
         self.log.schedule_into(&mut engine, None)?;
         engine.run()?;
         Ok(engine)
@@ -125,6 +138,7 @@ impl Execution {
             naive_join: self.naive_join,
             unbatched: self.unbatched,
             no_trie: self.no_trie,
+            threads: self.threads,
         };
         clone.replay()
     }
@@ -138,6 +152,9 @@ impl Execution {
         engine.set_naive_join(self.naive_join);
         engine.set_unbatched(self.unbatched || engine.unbatched());
         engine.set_no_trie(self.no_trie || engine.no_trie());
+        if self.threads != 0 {
+            engine.set_threads(self.threads);
+        }
         let events = self.log.events();
         let mut i = 0;
         while i < events.len() {
@@ -161,7 +178,7 @@ impl Execution {
             engine.run()?;
             store.snaps.push(Checkpoint {
                 cut: events[end - 1].due,
-                snapshot: engine.snapshot(),
+                snapshot: engine.snapshot()?,
             });
             i = end;
         }
@@ -200,10 +217,13 @@ impl Execution {
                     Arc::clone(&self.program),
                     cp.snapshot.clone(),
                     GraphRecorder::new(),
-                );
+                )?;
                 engine.set_naive_join(self.naive_join);
                 engine.set_unbatched(self.unbatched || engine.unbatched());
                 engine.set_no_trie(self.no_trie || engine.no_trie());
+                if self.threads != 0 {
+                    engine.set_threads(self.threads);
+                }
                 for e in self.log.events() {
                     if e.due <= cp.cut {
                         continue;

@@ -16,4 +16,10 @@ DP_UNBATCHED=1 cargo test --workspace -q
 # forces every trie-eligible step back onto the ordered scan), so the
 # whole suite also vouches for the fallback path.
 DP_NO_TRIE=1 cargo test --workspace -q
+# Fourth and fifth passes pin the batch-flush path: DP_THREADS=1 forces
+# the serial reference flush everywhere, DP_THREADS=4 runs every engine
+# the suite builds (minus those that pin their own thread count) through
+# the parallel worker-pool flush.
+DP_THREADS=1 cargo test --workspace -q
+DP_THREADS=4 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
