@@ -5,18 +5,71 @@
 //! cargo run -p dp-bench --release --bin repro -- table1
 //! ```
 
-use dp_bench::{ablation, complex, engine_bench, latency, query, storage, table1, unsuitable};
+use dp_bench::{
+    ablation, complex, engine_bench, latency, query, storage, table1, trace_cmd, unsuitable,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let wants: Vec<&str> = if args.is_empty() {
-        vec!["all"]
-    } else {
-        args.iter().map(String::as_str).collect()
-    };
-    for what in wants {
-        dispatch(what);
+    if args.is_empty() {
+        dispatch("all");
+        return;
     }
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            cmd @ ("trace" | "stats") => {
+                let Some(name) = args.get(i + 1) else {
+                    eprintln!(
+                        "usage: repro -- {cmd} <scenario>; scenarios: {}",
+                        trace_cmd::SCENARIO_NAMES.join(" ")
+                    );
+                    std::process::exit(2);
+                };
+                let Some(scenario) = trace_cmd::find_scenario(name) else {
+                    eprintln!(
+                        "unknown scenario {name:?}; available: {}",
+                        trace_cmd::SCENARIO_NAMES.join(" ")
+                    );
+                    std::process::exit(2);
+                };
+                if cmd == "trace" {
+                    run_trace(&scenario);
+                } else {
+                    run_stats(&scenario);
+                }
+                i += 2;
+            }
+            what => {
+                dispatch(what);
+                i += 1;
+            }
+        }
+    }
+}
+
+fn run_trace(scenario: &diffprov_core::Scenario) {
+    banner(&format!(
+        "Trace: {} — {}",
+        scenario.name, scenario.description
+    ));
+    let run = trace_cmd::trace_scenario(scenario).expect("traced diagnosis runs");
+    print!("{}", trace_cmd::summary(&run));
+    let jsonl = format!("TRACE_{}.jsonl", scenario.name);
+    let chrome = format!("TRACE_{}.trace.json", scenario.name);
+    std::fs::write(&jsonl, run.trace.to_jsonl()).expect("trace file is writable");
+    std::fs::write(&chrome, run.trace.to_chrome()).expect("trace file is writable");
+    println!(
+        "  wrote {jsonl} ({} events) and {chrome} (load in Perfetto or chrome://tracing)",
+        run.trace.events.len()
+    );
+}
+
+fn run_stats(scenario: &diffprov_core::Scenario) {
+    println!(
+        "{}",
+        trace_cmd::stats_json(scenario).expect("stats replay runs")
+    );
 }
 
 fn dispatch(what: &str) {
@@ -66,7 +119,8 @@ fn dispatch(what: &str) {
     if !ran {
         eprintln!(
             "unknown experiment {what:?}; available: all table1 fig5 fig6 fig7 fig8 \
-             unsuitable latency mrstorage complex ablation enginebench"
+             unsuitable latency mrstorage complex ablation enginebench \
+             trace <scenario> stats <scenario>"
         );
         std::process::exit(2);
     }

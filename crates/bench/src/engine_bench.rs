@@ -6,9 +6,9 @@
 //! so the engine's perf trajectory is machine-readable across revisions.
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use dp_ndlog::{Engine, Program, VecSink};
+use dp_trace::Tracer;
 use dp_replay::{BaseOp, Execution};
 use dp_sdn::{campus, CampusConfig};
 use dp_types::{FieldType, NodeId, Result, Schema, SchemaRegistry, Tuple};
@@ -120,6 +120,12 @@ pub struct ScenarioParity {
 /// Replays `exec` into a buffering sink, timing only the evaluation loop.
 /// Runs `runs` times and reports the best time (the shared machines the
 /// benchmark runs on are noisy; the minimum is the least-perturbed run).
+///
+/// Timing comes from a per-run aggregate-only tracer rather than a bespoke
+/// stopwatch: each run's seconds are the `engine.run` span total, so the
+/// BENCH legs are derived from the same aggregator the `repro -- trace`
+/// summary reads. Aggregate-only mode also overrides any `DP_TRACE` full
+/// default, so the benchmark never pays event buffering.
 fn timed_replay(
     exec: &Execution,
     naive: bool,
@@ -135,10 +141,11 @@ fn timed_replay(
         eng.set_unbatched(unbatched);
         eng.set_no_trie(no_trie);
         eng.set_threads(threads);
+        let tracer = Tracer::aggregate_only();
+        eng.set_tracer(tracer.clone());
         exec.log.schedule_into(&mut eng, None)?;
-        let t = Instant::now();
         eng.run()?;
-        let secs = t.elapsed().as_secs_f64();
+        let secs = tracer.aggregate().total_secs("engine.run");
         if best.as_ref().is_none_or(|(_, b)| secs < *b) {
             best = Some((eng, secs));
         }

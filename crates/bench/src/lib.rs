@@ -21,6 +21,8 @@
 //! | `complex`    | §6.7 — campus network with faults and noise           |
 //! | `ablation`   | design-choice ablations (butterfly, noise, checkpoints)|
 //! | `enginebench`| indexed vs. naive joins at scale → `BENCH_engine.json` |
+//! | `trace <s>`  | one scenario under a full tracer → summary + trace files|
+//! | `stats <s>`  | engine counters/join profile of one scenario, as JSON  |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +35,7 @@ pub mod latency;
 pub mod query;
 pub mod storage;
 pub mod table1;
+pub mod trace_cmd;
 pub mod unsuitable;
 
 #[cfg(test)]

@@ -25,9 +25,9 @@
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use std::time::Instant;
 
 use dp_ndlog::{Constraint, Env, Expr, Func, Program, TupleChange};
+use dp_trace::{Class, Tracer};
 use dp_provenance::{tuple_view, TreeIdx, TupleTree};
 use dp_replay::{Execution, Replayed};
 use dp_types::{Error, LogicalTime, NodeId, Result, Tuple, TupleRef, Value};
@@ -65,6 +65,17 @@ pub struct DiffProv {
     /// another node"); leave off when the event's location is part of the
     /// symptom (e.g. MR1's words landing on the wrong reducer).
     pub map_seed_nodes: bool,
+    /// Tracer for the pipeline-stage spans (`diffprov.replay`,
+    /// `diffprov.find_seeds`, `diffprov.detect_divergence`,
+    /// `diffprov.make_appear`, `diffprov.update_tree`, `diffprov.verify`).
+    /// When disabled (the default), [`DiffProv::diagnose`] still times
+    /// itself through a private aggregate-only tracer — the
+    /// [`Metrics`] breakdown is *always* derived from span aggregates, so
+    /// metrics and traces cannot disagree. The pipeline spans are
+    /// deterministic ([`dp_trace::Class::Skeleton`]): their sequence
+    /// depends only on the executions and events under diagnosis, not on
+    /// any engine configuration.
+    pub tracer: Tracer,
 }
 
 impl Default for DiffProv {
@@ -72,6 +83,7 @@ impl Default for DiffProv {
         DiffProv {
             max_rounds: 8,
             map_seed_nodes: false,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -109,7 +121,15 @@ impl DiffProv {
         bad: &Execution,
         bad_event: &QueryEvent,
     ) -> Result<Report> {
-        let mut metrics = Metrics::default();
+        // All stage timing runs through a tracer: the caller's when one is
+        // attached, a private aggregate-only tracer otherwise. The metrics
+        // in the report are always derived from span aggregates.
+        let tracer = if self.tracer.is_enabled() {
+            self.tracer.clone()
+        } else {
+            Tracer::aggregate_only()
+        };
+        let agg0 = tracer.aggregate();
         let program = &bad.program;
 
         // Phase 1: replay the execution(s), reconstruct provenance, extract
@@ -118,9 +138,9 @@ impl DiffProv {
         // serves both trees — the paper's batching (Section 6.6).
         let shared =
             Arc::ptr_eq(&good.program, &bad.program) && good.log.events() == bad.log.events();
-        let t = Instant::now();
+        let span = tracer.span("diffprov.replay", Class::Skeleton, None);
         let replayed_good = good.replay()?;
-        metrics.replay += t.elapsed();
+        span.end(None, &[("shared", shared as u64)]);
 
         let good_tree = replayed_good
             .query_at(&good_event.tref, good_event.at)
@@ -131,12 +151,12 @@ impl DiffProv {
                 ))
             })?;
 
-        let t = Instant::now();
         let mut replayed_bad = if shared {
             replayed_good
         } else {
+            let span = tracer.span("diffprov.replay", Class::Skeleton, None);
             let r = bad.replay()?;
-            metrics.replay += t.elapsed();
+            span.end(None, &[("shared", 0)]);
             r
         };
         let bad_tree = replayed_bad
@@ -151,12 +171,18 @@ impl DiffProv {
         let bad_view = tuple_view(&bad_tree);
 
         // Phase 2: find the seeds.
-        let t = Instant::now();
+        let span = tracer.span("diffprov.find_seeds", Class::Skeleton, None);
         let good_seed_idx = good_view.seed();
         let bad_seed_idx = bad_view.seed();
         let good_seed = good_view.node(good_seed_idx).tref.clone();
         let bad_seed = bad_view.node(bad_seed_idx).tref.clone();
-        metrics.find_seeds += t.elapsed();
+        span.end(
+            None,
+            &[
+                ("good_tree", good_tree.len() as u64),
+                ("bad_tree", bad_tree.len() as u64),
+            ],
+        );
 
         let mut report = Report {
             delta: Vec::new(),
@@ -167,7 +193,7 @@ impl DiffProv {
             bad_seed: Some(bad_seed.clone()),
             good_tree_size: good_tree.len(),
             bad_tree_size: bad_tree.len(),
-            metrics,
+            metrics: Metrics::default(),
         };
 
         // Phase 3: establish equivalence (fails on seed type mismatch).
@@ -183,6 +209,7 @@ impl DiffProv {
                     good: Tuple::clone(&good_seed.tuple),
                     bad: Tuple::clone(&bad_seed.tuple),
                 });
+                report.metrics = Metrics::from_aggregate_delta(&agg0, &tracer.aggregate());
                 return Ok(report);
             }
         };
@@ -195,7 +222,13 @@ impl DiffProv {
         // Phases 4–6: align, round by round.
         let mut outcome: std::result::Result<(), Failure> = Ok(());
         for _round in 0..self.max_rounds {
-            let t = Instant::now();
+            tracer.instant(
+                "diffprov.round",
+                Class::Skeleton,
+                None,
+                &[("round", report.rounds.len() as u64)],
+            );
+            let span = tracer.span("diffprov.detect_divergence", Class::Skeleton, None);
             let mut divergence: Option<(TreeIdx, TupleRef)> = None;
             let mut walk_result: AResult<()> = Ok(());
             for &idx in &chain {
@@ -212,7 +245,7 @@ impl DiffProv {
                     }
                 }
             }
-            report.metrics.detect_divergence += t.elapsed();
+            span.end(None, &[("diverged", divergence.is_some() as u64)]);
             if let Err(e) = walk_result {
                 match e {
                     AlignError::Fail(f) => {
@@ -235,7 +268,7 @@ impl DiffProv {
             };
 
             let before_len = delta.len();
-            let t = Instant::now();
+            let span = tracer.span("diffprov.make_appear", Class::Skeleton, None);
             let ma = {
                 let mut ctx = AlignCtx {
                     view: &good_view,
@@ -247,7 +280,7 @@ impl DiffProv {
                 };
                 ctx.make_appear(div_idx)
             };
-            report.metrics.make_appear += t.elapsed();
+            span.end(None, &[("changes", (delta.len() - before_len) as u64)]);
             match ma {
                 Ok(()) => {}
                 Err(AlignError::Fail(f)) => {
@@ -267,11 +300,15 @@ impl DiffProv {
             });
 
             // UPDATETREE: cloned replay with the accumulated changes.
-            let t = Instant::now();
+            let span = tracer.span("diffprov.update_tree", Class::Skeleton, None);
             replayed_bad = bad.replay_with(&delta, inject_at)?;
-            let dt = t.elapsed();
-            report.metrics.update_tree += dt;
-            report.metrics.replay += dt;
+            span.end(
+                None,
+                &[
+                    ("round", report.rounds.len() as u64),
+                    ("changes", delta.len() as u64),
+                ],
+            );
             promised.clear();
 
             if report.rounds.len() >= self.max_rounds {
@@ -292,7 +329,7 @@ impl DiffProv {
                 // the bad seed preserved. Field values legitimately differ
                 // wherever taints or repairs apply, so the check is
                 // structural (Definition 1's "equivalence").
-                let t = Instant::now();
+                let span = tracer.span("diffprov.verify", Class::Skeleton, None);
                 report.verified = (|| {
                     let root_exp = taint.expected_tref(TupleTree::ROOT).ok()?;
                     let new_tree = replayed_bad.query(&root_exp)?;
@@ -309,13 +346,14 @@ impl DiffProv {
                         .then_some(())
                 })()
                 .is_some();
-                report.metrics.detect_divergence += t.elapsed();
+                span.end(None, &[("verified", report.verified as u64)]);
             }
             Err(f) => {
                 report.delta = delta;
                 report.failure = Some(f);
             }
         }
+        report.metrics = Metrics::from_aggregate_delta(&agg0, &tracer.aggregate());
         Ok(report)
     }
 }

@@ -106,6 +106,29 @@ impl Metrics {
     pub fn total(&self) -> Duration {
         self.replay + self.reasoning()
     }
+
+    /// Derives the Figure 7/8 decomposition from two tracer aggregate
+    /// snapshots bracketing one diagnosis. This is the **only** way
+    /// metrics are produced — the pipeline no longer keeps bespoke timers
+    /// — so the BENCH figures, the `repro -- trace` summary, and a raw
+    /// trace of the same run can never disagree.
+    ///
+    /// The span-name mapping preserves the historical semantics:
+    /// `replay` covers the initial replays *and* the UPDATETREE replays;
+    /// `detect_divergence` includes the final verification pass.
+    pub fn from_aggregate_delta(before: &dp_trace::Aggregate, after: &dp_trace::Aggregate) -> Self {
+        let ns = |name: &str| after.total_ns(name).saturating_sub(before.total_ns(name));
+        let update_tree = ns("diffprov.update_tree");
+        Metrics {
+            replay: Duration::from_nanos(ns("diffprov.replay") + update_tree),
+            find_seeds: Duration::from_nanos(ns("diffprov.find_seeds")),
+            detect_divergence: Duration::from_nanos(
+                ns("diffprov.detect_divergence") + ns("diffprov.verify"),
+            ),
+            make_appear: Duration::from_nanos(ns("diffprov.make_appear")),
+            update_tree: Duration::from_nanos(update_tree),
+        }
+    }
 }
 
 /// What happened in one alignment round.

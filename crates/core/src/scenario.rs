@@ -34,7 +34,13 @@ pub struct Scenario {
 impl Scenario {
     /// Runs DiffProv on this scenario.
     pub fn diagnose(&self) -> Result<Report> {
-        DiffProv::default().diagnose(
+        self.diagnose_with(&DiffProv::default())
+    }
+
+    /// Runs DiffProv on this scenario with a caller-provided configuration
+    /// (e.g. a tracer attached, or a different round limit).
+    pub fn diagnose_with(&self, dp: &DiffProv) -> Result<Report> {
+        dp.diagnose(
             &self.good_exec,
             &self.good_event,
             &self.bad_exec,

@@ -96,6 +96,7 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use dp_trace::{Class, Tracer};
 use dp_types::{
     Error, LogicalTime, NodeId, Prefix, PrefixTrie, Result, Sym, TableKind, Tuple, TupleRef,
     TupleStore, Value,
@@ -669,6 +670,33 @@ impl Stats {
             self.join_probes as f64 / total as f64
         }
     }
+
+    /// Hand-rolled JSON rendering (serde-free, matching the BENCH writer
+    /// style). Field names and order mirror the struct declaration; the
+    /// shape is pinned by a golden test and consumed by `repro -- stats`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"events\":{},\"base_inserts\":{},\"base_deletes\":{},\"derivations\":{},\
+             \"underivations\":{},\"join_probes\":{},\"join_scans\":{},\"trie_probes\":{},\
+             \"trie_scans\":{},\"join_candidates\":{},\"join_matches\":{},\"peak_tuples\":{},\
+             \"batches\":{},\"batched_deltas\":{},\"parallel_batches\":{}}}",
+            self.events,
+            self.base_inserts,
+            self.base_deletes,
+            self.derivations,
+            self.underivations,
+            self.join_probes,
+            self.join_scans,
+            self.trie_probes,
+            self.trie_scans,
+            self.join_candidates,
+            self.join_matches,
+            self.peak_tuples,
+            self.batches,
+            self.batched_deltas,
+            self.parallel_batches,
+        )
+    }
 }
 
 /// Per-rule join counters, exposed through [`Engine::join_profile`].
@@ -700,6 +728,41 @@ impl RuleJoinProfile {
             self.probes as f64 / total as f64
         }
     }
+
+    /// Hand-rolled JSON rendering (serde-free). Field names and order
+    /// mirror the struct declaration; the shape is pinned by a golden
+    /// test and consumed by `repro -- stats`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"attempts\":{},\"probes\":{},\"scans\":{},\"trie_probes\":{},\
+             \"trie_scans\":{},\"candidates\":{},\"matches\":{}}}",
+            self.attempts,
+            self.probes,
+            self.scans,
+            self.trie_probes,
+            self.trie_scans,
+            self.candidates,
+            self.matches,
+        )
+    }
+}
+
+/// Renders a per-rule join profile map as one JSON object keyed by rule
+/// name (serde-free; rule order is the map's deterministic `BTreeMap`
+/// order). Used by `repro -- stats` and pinned by the same golden test as
+/// [`RuleJoinProfile::to_json`].
+pub fn join_profile_json(profile: &BTreeMap<Sym, RuleJoinProfile>) -> String {
+    let mut s = String::from("{");
+    for (i, (rule, p)) in profile.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&dp_trace::json_string(rule.as_str()));
+        s.push(':');
+        s.push_str(&p.to_json());
+    }
+    s.push('}');
+    s
 }
 
 /// Counters for one join invocation.
@@ -832,6 +895,8 @@ pub struct Engine<S: ProvenanceSink> {
     unbatched: bool,
     /// Worker threads for batch firing (1 = the serial reference path).
     threads: usize,
+    /// Trace sink (disabled by default; see [`Engine::set_tracer`]).
+    tracer: Tracer,
     /// Appearances of the current same-`due` batch, awaiting their rule
     /// firings (always empty in unbatched mode and at quiescence).
     pending: Vec<Delta>,
@@ -865,6 +930,7 @@ impl<S: ProvenanceSink> Engine<S> {
             no_trie: default_no_trie(),
             unbatched: default_unbatched(),
             threads: default_threads(),
+            tracer: Tracer::from_env(),
             pending: Vec::new(),
             event_buf: Vec::new(),
             flush_buf: Vec::new(),
@@ -969,6 +1035,37 @@ impl<S: ProvenanceSink> Engine<S> {
         self.threads
     }
 
+    /// Attaches a tracer (`dp-trace`). Engines trace at phase granularity
+    /// only — never per tuple or per join step — so an enabled tracer
+    /// costs a handful of mutex-guarded appends per batch:
+    ///
+    /// * a `Class::Skeleton` `engine.run` span per [`Engine::run`], ticked
+    ///   by an `engine.tick` instant at every completed due-group and
+    ///   closed with a deterministic counter snapshot (events, deriva-
+    ///   tions, per-rule firings and matches, per-node live tuples);
+    /// * `Class::Effort` spans around each batch flush (`engine.flush`,
+    ///   `engine.fire.serial` / `engine.fire.parallel` + `engine.merge`,
+    ///   `engine.sink`) and effort counters (probes, scans, trie decisions,
+    ///   candidates, batching) that legitimately differ between engine
+    ///   configurations.
+    ///
+    /// The skeleton rendering of the resulting trace is bit-identical
+    /// across unbatched/batched/parallel/no-trie/naive configurations —
+    /// `crates/ndlog/tests/trace_differential.rs` proves it. The default
+    /// tracer is selected by `DP_TRACE` (unset/`0` disabled, `agg`
+    /// aggregate-only, anything else full recording), read once per
+    /// process. Cloning one tracer into several engines (and the DiffProv
+    /// pipeline) interleaves their events in a single stream.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The engine's tracer (disabled unless `DP_TRACE` is set or
+    /// [`Engine::set_tracer`] was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Consumes the engine, returning its sink (e.g. a finished graph
     /// builder).
     pub fn into_sink(self) -> S {
@@ -1064,6 +1161,7 @@ impl<S: ProvenanceSink> Engine<S> {
             no_trie: default_no_trie(),
             unbatched: default_unbatched(),
             threads: default_threads(),
+            tracer: Tracer::from_env(),
             pending: Vec::new(),
             event_buf: Vec::new(),
             flush_buf: Vec::new(),
@@ -1127,6 +1225,18 @@ impl<S: ProvenanceSink> Engine<S> {
 
     /// Drains the event queue to quiescence.
     pub fn run(&mut self) -> Result<Stats> {
+        // Snapshot the counters when traced so the quiescence summary
+        // reports this run's deltas: several runs (or engines) sharing one
+        // tracer then accumulate correctly in the aggregate.
+        let traced = self.tracer.is_enabled().then(|| {
+            (
+                self.tracer
+                    .span("engine.run", Class::Skeleton, Some(self.clock)),
+                self.stats,
+                self.rule_firings.clone(),
+                self.join_profile.clone(),
+            )
+        });
         let result = self.run_inner();
         if result.is_err() && !self.event_buf.is_empty() {
             // Don't swallow provenance already produced by applied
@@ -1135,7 +1245,88 @@ impl<S: ProvenanceSink> Engine<S> {
             let mut events = std::mem::take(&mut self.event_buf);
             self.sink.record_batch(&mut events);
         }
+        if let Some((span, s0, firings0, profile0)) = traced {
+            self.trace_run_summary(s0, &firings0, &profile0);
+            span.end(Some(self.clock), &[("events", self.stats.events - s0.events)]);
+        }
         result.map(|()| self.stats)
+    }
+
+    /// Emits the quiescence counter snapshot closing an `engine.run` span.
+    /// Skeleton counters are the configuration-independent ones (a pruned
+    /// or trie-probed join finds the same matches, just cheaper); probe/
+    /// scan/batching effort is configuration-dependent and tagged so.
+    fn trace_run_summary(
+        &self,
+        s0: Stats,
+        firings0: &BTreeMap<Sym, u64>,
+        profile0: &BTreeMap<Sym, RuleJoinProfile>,
+    ) {
+        let t = &self.tracer;
+        let s = self.stats;
+        for (name, v) in [
+            ("engine.events", s.events - s0.events),
+            ("engine.base_inserts", s.base_inserts - s0.base_inserts),
+            ("engine.base_deletes", s.base_deletes - s0.base_deletes),
+            ("engine.derivations", s.derivations - s0.derivations),
+            ("engine.underivations", s.underivations - s0.underivations),
+            ("engine.peak_tuples", s.peak_tuples - s0.peak_tuples),
+        ] {
+            t.counter(name, Class::Skeleton, v);
+        }
+        for (rule, &n) in &self.rule_firings {
+            let prev = firings0.get(rule).copied().unwrap_or(0);
+            if n > prev {
+                t.counter(&format!("rule.fired.{rule}"), Class::Skeleton, n - prev);
+            }
+        }
+        // Per-node live-tuple snapshots: the fixpoint is identical in
+        // every configuration, so the absolute counts are deterministic.
+        for (node, state) in &self.nodes {
+            t.counter(&format!("node.live.{node}"), Class::Skeleton, state.len() as u64);
+        }
+        // `join_matches` (and the per-rule `matches`) are effort, not
+        // skeleton: a scan pattern-matches route entries whose prefix the
+        // trie would never surface (the constraint rejects them after the
+        // match), so the counts shift with the access path — see the
+        // trie differential suite.
+        for (name, v) in [
+            ("engine.join_probes", s.join_probes - s0.join_probes),
+            ("engine.join_scans", s.join_scans - s0.join_scans),
+            ("engine.trie_probes", s.trie_probes - s0.trie_probes),
+            ("engine.trie_scans", s.trie_scans - s0.trie_scans),
+            ("engine.join_candidates", s.join_candidates - s0.join_candidates),
+            ("engine.join_matches", s.join_matches - s0.join_matches),
+            ("engine.batches", s.batches - s0.batches),
+            ("engine.batched_deltas", s.batched_deltas - s0.batched_deltas),
+            ("engine.parallel_batches", s.parallel_batches - s0.parallel_batches),
+        ] {
+            t.counter(name, Class::Effort, v);
+        }
+        for (rule, p) in &self.join_profile {
+            let prev = profile0.get(rule).copied().unwrap_or_default();
+            if p.attempts > prev.attempts {
+                t.counter(
+                    &format!("rule.attempts.{rule}"),
+                    Class::Effort,
+                    p.attempts - prev.attempts,
+                );
+            }
+            if p.candidates > prev.candidates {
+                t.counter(
+                    &format!("rule.candidates.{rule}"),
+                    Class::Effort,
+                    p.candidates - prev.candidates,
+                );
+            }
+            if p.matches > prev.matches {
+                t.counter(
+                    &format!("rule.matches.{rule}"),
+                    Class::Effort,
+                    p.matches - prev.matches,
+                );
+            }
+        }
     }
 
     fn run_inner(&mut self) -> Result<()> {
@@ -1170,6 +1361,25 @@ impl<S: ProvenanceSink> Engine<S> {
                     .is_none_or(|Reverse(next)| next.due != ev.due)
             {
                 self.flush_batch()?;
+            }
+            // Deterministic tick: this event closed its due-group. The
+            // boundary is (re-)evaluated after the flush — whose firings
+            // and the unbatched path's immediate firings may both push
+            // same-`due` actions extending the group — and queue evolution
+            // is bit-identical across configurations, so every engine
+            // configuration ticks at the same points with the same clocks.
+            if self.tracer.is_enabled()
+                && self
+                    .queue
+                    .peek()
+                    .is_none_or(|Reverse(next)| next.due != ev.due)
+            {
+                self.tracer.instant(
+                    "engine.tick",
+                    Class::Skeleton,
+                    Some(self.clock),
+                    &[("due", ev.due), ("events", self.stats.events)],
+                );
             }
         }
         debug_assert!(self.pending.is_empty() && self.event_buf.is_empty());
@@ -1519,6 +1729,13 @@ impl<S: ProvenanceSink> Engine<S> {
     /// either way.
     fn flush_batch(&mut self) -> Result<()> {
         if !self.pending.is_empty() {
+            // Effort-class instrumentation only: batch structure is a
+            // property of the configuration, not of the program, so none
+            // of these spans belong to the deterministic skeleton.
+            let traced = self.tracer.is_enabled();
+            let s0 = self.stats;
+            let flush_span =
+                traced.then(|| self.tracer.span("engine.flush", Class::Effort, Some(self.clock)));
             let deltas = std::mem::take(&mut self.pending);
             self.stats.batches += 1;
             self.stats.batched_deltas += deltas.len() as u64;
@@ -1530,8 +1747,20 @@ impl<S: ProvenanceSink> Engine<S> {
                 buf.resize_with(deltas.len(), Vec::new);
             }
             let fired = if self.threads > 1 && deltas.len() >= PAR_MIN_DELTAS {
-                self.fire_batch_parallel(&deltas, &mut buf)
+                let span = traced.then(|| {
+                    self.tracer
+                        .span("engine.fire.parallel", Class::Effort, Some(self.clock))
+                });
+                let res = self.fire_batch_parallel(&deltas, &mut buf);
+                if let Some(span) = span {
+                    span.end(Some(self.clock), &[("deltas", deltas.len() as u64)]);
+                }
+                res
             } else {
+                let span = traced.then(|| {
+                    self.tracer
+                        .span("engine.fire.serial", Class::Effort, Some(self.clock))
+                });
                 let mut fstats = FireStats::default();
                 let ctx = FireCtx {
                     program: &self.program,
@@ -1546,6 +1775,9 @@ impl<S: ProvenanceSink> Engine<S> {
                     &mut buf[..deltas.len()],
                 );
                 self.absorb_fire_stats(fstats);
+                if let Some(span) = span {
+                    span.end(Some(self.clock), &[("deltas", deltas.len() as u64)]);
+                }
                 res
             };
             if let Err(e) = fired {
@@ -1558,12 +1790,33 @@ impl<S: ProvenanceSink> Engine<S> {
                 }
             }
             self.flush_buf = buf;
+            if let Some(span) = flush_span {
+                let s = self.stats;
+                span.end(
+                    Some(self.clock),
+                    &[
+                        ("deltas", deltas.len() as u64),
+                        ("candidates", s.join_candidates - s0.join_candidates),
+                        ("matches", s.join_matches - s0.join_matches),
+                    ],
+                );
+            }
         }
         if !self.event_buf.is_empty() {
+            let span = self.tracer.is_enabled().then(|| {
+                (
+                    self.tracer
+                        .span("engine.sink", Class::Effort, Some(self.clock)),
+                    self.event_buf.len() as u64,
+                )
+            });
             let mut events = std::mem::take(&mut self.event_buf);
             self.sink.record_batch(&mut events);
             events.clear();
             self.event_buf = events;
+            if let Some((span, n)) = span {
+                span.end(Some(self.clock), &[("events", n)]);
+            }
         }
         Ok(())
     }
@@ -1654,6 +1907,10 @@ impl<S: ProvenanceSink> Engine<S> {
                 .map(|h| h.join().expect("batch worker panicked"))
                 .collect()
         });
+        let merge_span = self
+            .tracer
+            .is_enabled()
+            .then(|| self.tracer.span("engine.merge", Class::Effort, Some(self.clock)));
         let mut first_error: Option<(usize, Error)> = None;
         for wo in outputs {
             self.absorb_fire_stats(wo.fstats);
@@ -1675,6 +1932,9 @@ impl<S: ProvenanceSink> Engine<S> {
                 }
                 buf[idx] = actions;
             }
+        }
+        if let Some(span) = merge_span {
+            span.end(Some(self.clock), &[("workers", workers as u64)]);
         }
         match first_error {
             Some((_, e)) => Err(e),

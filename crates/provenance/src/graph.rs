@@ -455,12 +455,23 @@ impl fmt::Display for GraphStats {
 pub struct GraphRecorder {
     /// The graph under construction.
     pub graph: ProvGraph,
+    tracer: dp_trace::Tracer,
 }
 
 impl GraphRecorder {
     /// A recorder with an empty graph.
     pub fn new() -> Self {
         GraphRecorder::default()
+    }
+
+    /// A recorder that times its batched folds into `tracer` (as
+    /// `Class::Effort` `prov.record_batch` spans — batch structure is a
+    /// property of the engine configuration, not of the program).
+    pub fn with_tracer(tracer: dp_trace::Tracer) -> Self {
+        GraphRecorder {
+            graph: ProvGraph::default(),
+            tracer,
+        }
     }
 
     /// Finishes recording, returning the graph.
@@ -479,8 +490,18 @@ impl ProvenanceSink for GraphRecorder {
     /// in order — the resulting graph is identical to the one built by
     /// per-event delivery.
     fn record_batch(&mut self, events: &mut Vec<ProvEvent>) {
+        let span = self.tracer.is_enabled().then(|| {
+            (
+                self.tracer
+                    .span("prov.record_batch", dp_trace::Class::Effort, None),
+                events.len() as u64,
+            )
+        });
         for event in events.drain(..) {
             self.graph.record_event(event);
+        }
+        if let Some((span, n)) = span {
+            span.end(None, &[("events", n)]);
         }
     }
 }

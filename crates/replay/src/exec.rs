@@ -9,8 +9,9 @@
 
 use std::sync::Arc;
 
-use dp_ndlog::{Engine, EngineSnapshot, NullSink, Program, TupleChange};
+use dp_ndlog::{Engine, EngineSnapshot, NullSink, Program, ProvenanceSink, TupleChange};
 use dp_provenance::{extract_tree, extract_tree_latest, GraphRecorder, ProvGraph, ProvTree};
+use dp_trace::{Class, Tracer};
 use dp_types::{LogicalTime, NodeId, Result, Tuple, TupleRef};
 
 use crate::log::{BaseOp, EventLog};
@@ -43,6 +44,12 @@ pub struct Execution {
     /// the other flags, every setting replays the identical provenance
     /// stream; `1` pins the serial reference path for differential checks.
     pub threads: usize,
+    /// Tracer threaded into every engine, recorder, and tree extraction
+    /// this execution performs (disabled by default, in which case each
+    /// engine falls back to its own `DP_TRACE` default). Cloned freely —
+    /// clones share one event stream, so the UPDATETREE replays of a
+    /// cloned execution land in the same trace as the original's.
+    pub tracer: Tracer,
 }
 
 /// The outcome of a replay: a quiescent engine plus the provenance graph
@@ -70,13 +77,42 @@ impl Replayed {
 
     /// Extracts the provenance tree of `root` as of the final state.
     pub fn query(&self, root: &TupleRef) -> Option<ProvTree> {
-        extract_tree(self.graph(), root, self.now())
+        let now = self.now();
+        let span = self.extract_span(now);
+        let tree = extract_tree(self.graph(), root, now);
+        close_extract_span(span, now, tree.as_ref());
+        tree
     }
 
     /// Extracts the provenance tree of `root` as of `at` (temporal query;
     /// tolerates tuples that have since disappeared).
     pub fn query_at(&self, root: &TupleRef, at: LogicalTime) -> Option<ProvTree> {
-        extract_tree_latest(self.graph(), root, at)
+        let span = self.extract_span(at);
+        let tree = extract_tree_latest(self.graph(), root, at);
+        close_extract_span(span, at, tree.as_ref());
+        tree
+    }
+
+    /// Opens a `prov.extract` span when the replaying engine is traced.
+    /// Tree extraction reads the recorded graph only, and the graph is
+    /// bit-identical in every engine configuration, so the span (and its
+    /// found/size payload) belongs to the deterministic skeleton.
+    fn extract_span(&self, at: LogicalTime) -> Option<dp_trace::Span> {
+        let t = self.engine.tracer();
+        t.is_enabled()
+            .then(|| t.span("prov.extract", Class::Skeleton, Some(at)))
+    }
+}
+
+fn close_extract_span(span: Option<dp_trace::Span>, at: LogicalTime, tree: Option<&ProvTree>) {
+    if let Some(span) = span {
+        span.end(
+            Some(at),
+            &[
+                ("found", tree.is_some() as u64),
+                ("size", tree.map_or(0, |t| t.len() as u64)),
+            ],
+        );
     }
 }
 
@@ -90,7 +126,44 @@ impl Execution {
             unbatched: false,
             no_trie: false,
             threads: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Applies this execution's engine knobs (join path, firing
+    /// discipline, trie, threads, tracer) to a freshly built engine. Env
+    /// defaults already on the engine are kept unless this execution
+    /// overrides them.
+    fn configure<S: ProvenanceSink>(&self, engine: &mut Engine<S>) {
+        engine.set_naive_join(self.naive_join);
+        engine.set_unbatched(self.unbatched || engine.unbatched());
+        engine.set_no_trie(self.no_trie || engine.no_trie());
+        if self.threads != 0 {
+            engine.set_threads(self.threads);
+        }
+        if self.tracer.is_enabled() {
+            engine.set_tracer(self.tracer.clone());
+        }
+    }
+
+    /// The recorder for a replaying engine: shares the execution's tracer
+    /// so batched provenance folds show up in the same trace.
+    fn recorder(&self) -> GraphRecorder {
+        if self.tracer.is_enabled() {
+            GraphRecorder::with_tracer(self.tracer.clone())
+        } else {
+            GraphRecorder::new()
+        }
+    }
+
+    /// Opens a skeleton span around scheduling the log into an engine.
+    /// The log is configuration-independent, so the span and its event
+    /// count are deterministic.
+    fn schedule_span(&self) -> Option<dp_trace::Span> {
+        self.tracer.is_enabled().then(|| {
+            self.tracer
+                .span("replay.schedule", Class::Skeleton, None)
+        })
     }
 
     /// Replays the full log, recording provenance.
@@ -100,14 +173,13 @@ impl Execution {
 
     /// Replays the prefix of the log with `due <= until` (if given).
     pub fn replay_until(&self, until: Option<LogicalTime>) -> Result<Replayed> {
-        let mut engine = Engine::new(Arc::clone(&self.program), GraphRecorder::new());
-        engine.set_naive_join(self.naive_join);
-        engine.set_unbatched(self.unbatched || engine.unbatched());
-        engine.set_no_trie(self.no_trie || engine.no_trie());
-        if self.threads != 0 {
-            engine.set_threads(self.threads);
-        }
+        let mut engine = Engine::new(Arc::clone(&self.program), self.recorder());
+        self.configure(&mut engine);
+        let span = self.schedule_span();
         self.log.schedule_into(&mut engine, until)?;
+        if let Some(span) = span {
+            span.end(None, &[("events", self.log.len() as u64)]);
+        }
         engine.run()?;
         Ok(Replayed { engine })
     }
@@ -116,13 +188,12 @@ impl Execution {
     /// baseline used to measure capture overhead (Section 6.4).
     pub fn replay_null(&self) -> Result<Engine<NullSink>> {
         let mut engine = Engine::new(Arc::clone(&self.program), NullSink);
-        engine.set_naive_join(self.naive_join);
-        engine.set_unbatched(self.unbatched || engine.unbatched());
-        engine.set_no_trie(self.no_trie || engine.no_trie());
-        if self.threads != 0 {
-            engine.set_threads(self.threads);
-        }
+        self.configure(&mut engine);
+        let span = self.schedule_span();
         self.log.schedule_into(&mut engine, None)?;
+        if let Some(span) = span {
+            span.end(None, &[("events", self.log.len() as u64)]);
+        }
         engine.run()?;
         Ok(engine)
     }
@@ -139,6 +210,7 @@ impl Execution {
             unbatched: self.unbatched,
             no_trie: self.no_trie,
             threads: self.threads,
+            tracer: self.tracer.clone(),
         };
         clone.replay()
     }
@@ -149,12 +221,7 @@ impl Execution {
         assert!(every > 0, "checkpoint interval must be positive");
         let mut store = CheckpointStore { snaps: Vec::new() };
         let mut engine = Engine::new(Arc::clone(&self.program), NullSink);
-        engine.set_naive_join(self.naive_join);
-        engine.set_unbatched(self.unbatched || engine.unbatched());
-        engine.set_no_trie(self.no_trie || engine.no_trie());
-        if self.threads != 0 {
-            engine.set_threads(self.threads);
-        }
+        self.configure(&mut engine);
         let events = self.log.events();
         let mut i = 0;
         while i < events.len() {
@@ -216,14 +283,9 @@ impl Execution {
                 let mut engine = Engine::restore(
                     Arc::clone(&self.program),
                     cp.snapshot.clone(),
-                    GraphRecorder::new(),
+                    self.recorder(),
                 )?;
-                engine.set_naive_join(self.naive_join);
-                engine.set_unbatched(self.unbatched || engine.unbatched());
-                engine.set_no_trie(self.no_trie || engine.no_trie());
-                if self.threads != 0 {
-                    engine.set_threads(self.threads);
-                }
+                self.configure(&mut engine);
                 for e in self.log.events() {
                     if e.due <= cp.cut {
                         continue;

@@ -26,6 +26,7 @@ pub mod prefix;
 pub mod rng;
 pub mod schema;
 pub mod sym;
+pub mod trace;
 pub mod trie;
 pub mod tuple;
 pub mod value;
@@ -35,6 +36,7 @@ pub use prefix::Prefix;
 pub use rng::DetRng;
 pub use schema::{FieldDecl, FieldType, Schema, SchemaRegistry, TableKind};
 pub use sym::Sym;
+pub use trace::{SpanId, TraceId};
 pub use trie::PrefixTrie;
 pub use tuple::{NodeId, Tuple, TupleRef, TupleStore};
 pub use value::Value;

@@ -1,0 +1,82 @@
+//! Identity types for the tracing layer (`dp-trace`).
+//!
+//! Only the *identifiers* live here: `dp-types` stays dependency-free and
+//! every crate can mention a trace or span id in its API without pulling
+//! the tracer implementation into scope.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identity of one trace (one tracer instance's event stream).
+///
+/// Allocated from a process-wide counter, so ids are unique within a
+/// process but **not** stable across runs — they are deliberately excluded
+/// from the deterministic event skeleton (see `dp-trace`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// Allocates the next process-unique trace id.
+    pub fn next() -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        TraceId(NEXT.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The raw numeric id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identity of one span within a trace.
+///
+/// Allocated sequentially by the owning tracer, starting at 1; because
+/// spans are only opened from deterministic (serial) code paths, span ids
+/// are reproducible and *are* part of the event skeleton.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// Wraps a raw sequential id (used by the tracer).
+    pub fn from_u64(id: u64) -> Self {
+        SpanId(id)
+    }
+
+    /// The raw numeric id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_and_increasing() {
+        let a = TraceId::next();
+        let b = TraceId::next();
+        assert!(b.as_u64() > a.as_u64());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn span_id_roundtrip_and_display() {
+        let s = SpanId::from_u64(42);
+        assert_eq!(s.as_u64(), 42);
+        assert_eq!(s.to_string(), "S42");
+        assert_eq!(TraceId::next().to_string().chars().next(), Some('T'));
+    }
+}

@@ -1,25 +1,34 @@
 #!/usr/bin/env bash
 # Full local gate: release build, test suite in both engine firing
-# disciplines and with the prefix-trie access path disabled, and
-# lint-clean clippy. Run from the repository root before sending a change
-# out.
+# disciplines, with the prefix-trie access path disabled, under both
+# batch-flush paths, with tracing enabled, and lint-clean clippy. Run
+# from the repository root before sending a change out.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test --workspace -q
+# Every test pass runs --release so the legs share the artifacts of the
+# build above: the DP_* variables only steer runtime defaults, never
+# cargo's fingerprints, so nothing is rebuilt between legs (a debug pass
+# here used to pay a full second compilation of the workspace).
+cargo test --release --workspace -q
 # Second pass through the tuple-at-a-time reference path (DP_UNBATCHED=1
 # makes it the default discipline; the differential suites still compare
 # both explicitly).
-DP_UNBATCHED=1 cargo test --workspace -q
+DP_UNBATCHED=1 cargo test --release --workspace -q
 # Third pass with the prefix-trie join access path disabled (DP_NO_TRIE=1
 # forces every trie-eligible step back onto the ordered scan), so the
 # whole suite also vouches for the fallback path.
-DP_NO_TRIE=1 cargo test --workspace -q
+DP_NO_TRIE=1 cargo test --release --workspace -q
 # Fourth and fifth passes pin the batch-flush path: DP_THREADS=1 forces
 # the serial reference flush everywhere, DP_THREADS=4 runs every engine
 # the suite builds (minus those that pin their own thread count) through
 # the parallel worker-pool flush.
-DP_THREADS=1 cargo test --workspace -q
-DP_THREADS=4 cargo test --workspace -q
+DP_THREADS=1 cargo test --release --workspace -q
+DP_THREADS=4 cargo test --release --workspace -q
+# Sixth pass with full tracing as the process-wide default: every engine
+# the suite builds records spans and counters, and the differential
+# suites (which compare provenance streams byte-for-byte) double as the
+# proof that tracing never perturbs evaluation.
+DP_TRACE=1 cargo test --release --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
