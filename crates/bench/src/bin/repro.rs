@@ -9,10 +9,58 @@ use dp_bench::{
     ablation, complex, engine_bench, latency, query, storage, table1, trace_cmd, unsuitable,
 };
 
+/// Knobs for `enginebench`'s million-entry shard leg, settable anywhere
+/// on the command line: `--entries N` scales the campus workload and
+/// `--shards N` picks the sharded point on the curve (the 1-shard serial
+/// reference always runs too, for the stream-identity check).
+#[derive(Clone, Copy)]
+struct BenchOpts {
+    entries: usize,
+    shards: usize,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            entries: 1_000_000,
+            shards: 4,
+        }
+    }
+}
+
+fn parse_flag(flag: &str, value: Option<&String>) -> usize {
+    match value.and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => {
+            eprintln!("usage: repro -- [...] {flag} <positive integer>");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = BenchOpts::default();
+    let mut args: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--entries" => {
+                opts.entries = parse_flag("--entries", raw.get(i + 1));
+                i += 2;
+            }
+            "--shards" => {
+                opts.shards = parse_flag("--shards", raw.get(i + 1));
+                i += 2;
+            }
+            _ => {
+                args.push(raw[i].clone());
+                i += 1;
+            }
+        }
+    }
     if args.is_empty() {
-        dispatch("all");
+        dispatch("all", opts);
         return;
     }
     let mut i = 0;
@@ -41,7 +89,7 @@ fn main() {
                 i += 2;
             }
             what => {
-                dispatch(what);
+                dispatch(what, opts);
                 i += 1;
             }
         }
@@ -72,7 +120,7 @@ fn run_stats(scenario: &diffprov_core::Scenario) {
     );
 }
 
-fn dispatch(what: &str) {
+fn dispatch(what: &str, opts: BenchOpts) {
     let run_all = what == "all";
     let mut ran = false;
 
@@ -113,14 +161,14 @@ fn dispatch(what: &str) {
         ran = true;
     }
     if run_all || what == "enginebench" {
-        run_enginebench();
+        run_enginebench(opts);
         ran = true;
     }
     if !ran {
         eprintln!(
             "unknown experiment {what:?}; available: all table1 fig5 fig6 fig7 fig8 \
              unsuitable latency mrstorage complex ablation enginebench \
-             trace <scenario> stats <scenario>"
+             [--entries N] [--shards N] trace <scenario> stats <scenario>"
         );
         std::process::exit(2);
     }
@@ -314,7 +362,24 @@ fn run_mrstorage() {
     }
 }
 
-fn run_enginebench() {
+fn print_shard_curve(r: &engine_bench::ShardBenchResult) {
+    for p in &r.points {
+        let loads: Vec<String> = p.shard_loads.iter().map(|l| l.to_string()).collect();
+        println!(
+            "    {} shard(s): {:.3}s, {:.0} tuples/s, {:.2}x, loads [{}], {} cross-shard msgs, {} sharded batches",
+            p.shards,
+            p.secs,
+            p.events as f64 / p.secs.max(1e-12),
+            r.speedup_at(p.shards),
+            loads.join(" "),
+            p.cross_shard_msgs,
+            p.sharded_batches
+        );
+    }
+    println!("    streams identical: {}", r.streams_identical);
+}
+
+fn run_enginebench(opts: BenchOpts) {
     banner("Engine: joins and firing disciplines (campus, 100k+ entries)");
     // Enough background traffic that packet forwarding — the workload the
     // prefix trie accelerates — carries real weight next to the one-off
@@ -351,13 +416,14 @@ fn run_enginebench() {
         b.trie_scans
     );
     println!(
-        "  probes {} / scans {} (hit rate {:.1}%), {} deltas in {} batches, peak tuples {}, streams identical: {}",
+        "  probes {} / scans {} (hit rate {:.1}%), {} deltas in {} batches, peak tuples {} (interned {}), streams identical: {}",
         b.join_probes,
         b.join_scans,
         b.index_hit_rate * 100.0,
         b.batched_deltas,
         b.batches,
         b.peak_tuples,
+        b.peak_interned,
         b.streams_identical
     );
     banner("Engine: bulk configuration load (the batched firing path)");
@@ -387,6 +453,26 @@ fn run_enginebench() {
         "  join candidates examined: indexed {} vs naive {}, streams identical: {}",
         f.indexed_candidates, f.naive_candidates, f.streams_identical
     );
+    banner("Engine: node-sharded evaluation (100k entries, 1/2/4 shards)");
+    let shard = engine_bench::shard_bench(100_000, 400, &[1, 2, 4], 3).expect("shard bench runs");
+    print_shard_curve(&shard);
+    banner("Engine: sustained packet rate, sharded (small tables, heavy traffic)");
+    let rate = engine_bench::shard_bench(2_000, 4_000, &[1, 4], 3).expect("rate bench runs");
+    print_shard_curve(&rate);
+    println!(
+        "    {:.0} packets/s serial vs {:.0} packets/s at 4 shards",
+        rate.background_packets as f64 / rate.serial_secs().max(1e-12),
+        rate.background_packets as f64
+            / rate.points.last().map_or(1e-12, |p| p.secs).max(1e-12)
+    );
+    banner(&format!(
+        "Engine: {} entries at {} shard(s) (single pass each)",
+        opts.entries, opts.shards
+    ));
+    let counts: Vec<usize> = if opts.shards == 1 { vec![1] } else { vec![1, opts.shards] };
+    let million =
+        engine_bench::shard_bench(opts.entries, 200, &counts, 1).expect("million-entry leg runs");
+    print_shard_curve(&million);
     println!("  checking cross-mode parity on all scenarios...");
     let parity = engine_bench::scenario_parity().expect("parity runs");
     for p in &parity {
@@ -395,13 +481,16 @@ fn run_enginebench() {
             p.name, p.good_vertexes, p.bad_vertexes, p.identical
         );
     }
-    let json = engine_bench::to_json(&b, &l, &f, &parity);
+    let json = engine_bench::to_json(&b, &l, &f, &shard, &rate, Some(&million), &parity);
     std::fs::write("BENCH_engine.json", &json).expect("BENCH_engine.json is writable");
     println!("  wrote BENCH_engine.json");
     assert!(
         b.streams_identical
             && l.streams_identical
             && f.streams_identical
+            && shard.streams_identical
+            && rate.streams_identical
+            && million.streams_identical
             && parity.iter().all(|p| p.identical),
         "engine modes disagree"
     );

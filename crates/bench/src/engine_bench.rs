@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use dp_ndlog::{Engine, Program, VecSink};
+use dp_ndlog::{Engine, HashSink, Program, VecSink};
 use dp_trace::Tracer;
 use dp_replay::{BaseOp, Execution};
 use dp_sdn::{campus, CampusConfig};
@@ -60,6 +60,11 @@ pub struct EngineBenchResult {
     pub batched_deltas: u64,
     /// High-water mark of live tuples across all nodes.
     pub peak_tuples: u64,
+    /// High-water mark of *interned* tuples across all shard stores — the
+    /// honest memory signal: it counts every distinct allocation the run
+    /// held at a quiescent point, including tuples that later died, where
+    /// `peak_tuples` only counts tuples currently alive in node states.
+    pub peak_interned: u64,
     /// Whether all five runs emitted byte-identical provenance streams.
     pub streams_identical: bool,
 }
@@ -212,6 +217,143 @@ pub fn engine_bench(min_entries: usize, background_packets: usize) -> Result<Eng
         batches: stats.batches,
         batched_deltas: stats.batched_deltas,
         peak_tuples: stats.peak_tuples,
+        peak_interned: stats.peak_interned,
+        streams_identical,
+    })
+}
+
+/// One point on the shard-scaling curve: the campus replay at a fixed
+/// shard count.
+#[derive(Clone, Debug)]
+pub struct ShardScalePoint {
+    /// Shard count of this point (1 = the serial reference).
+    pub shards: usize,
+    /// Wall time of the replay (seconds, best of the runs).
+    pub secs: f64,
+    /// Events processed (identical at every shard count).
+    pub events: u64,
+    /// Deltas fired per shard — the load-balance picture of the FNV-1a
+    /// node assignment on this workload.
+    pub shard_loads: Vec<u64>,
+    /// Derived heads that crossed a shard boundary.
+    pub cross_shard_msgs: u64,
+    /// Batches dispatched through the shard pool.
+    pub sharded_batches: u64,
+    /// High-water mark of interned tuples summed across shard stores.
+    pub peak_interned: u64,
+    /// Order-sensitive digest of the provenance stream.
+    pub stream_digest: u64,
+    /// Events the digest covers.
+    pub stream_events: u64,
+}
+
+/// The shard-scaling benchmark: one workload replayed at several shard
+/// counts, with stream identity checked by digest (buffering millions of
+/// events per leg just to compare them would dominate the run).
+#[derive(Clone, Debug)]
+pub struct ShardBenchResult {
+    /// Configured forwarding/ACL entries in the campus network.
+    pub entries: usize,
+    /// Background packets streamed through the network.
+    pub background_packets: usize,
+    /// One point per requested shard count, in request order.
+    pub points: Vec<ShardScalePoint>,
+    /// Whether every point produced the same provenance stream digest.
+    pub streams_identical: bool,
+}
+
+impl ShardBenchResult {
+    /// Wall time of the 1-shard point (the serial reference).
+    pub fn serial_secs(&self) -> f64 {
+        self.points
+            .iter()
+            .find(|p| p.shards == 1)
+            .map_or(0.0, |p| p.secs)
+    }
+
+    /// Serial time over this point's time. On a single-CPU container the
+    /// honest expectation is ~1.0x (parity, i.e. low sharding overhead);
+    /// the curve only bends upward with real cores.
+    pub fn speedup_at(&self, shards: usize) -> f64 {
+        match self.points.iter().find(|p| p.shards == shards) {
+            Some(p) => self.serial_secs() / p.secs.max(1e-12),
+            None => 0.0,
+        }
+    }
+}
+
+/// Like [`timed_replay`], but over a sharded engine and a digesting sink:
+/// the scaling legs run at scales where buffering the stream per leg
+/// would dominate memory. Threads are pinned to 1 so shard count is the
+/// only variable.
+fn timed_replay_sharded(
+    exec: &Execution,
+    shards: usize,
+    runs: usize,
+) -> Result<(Engine<HashSink>, f64)> {
+    let mut best: Option<(Engine<HashSink>, f64)> = None;
+    for _ in 0..runs.max(1) {
+        let mut eng = Engine::new(Arc::clone(&exec.program), HashSink::default());
+        // Sharding lives in the batched flush, so the curve always
+        // measures the batched discipline whatever DP_UNBATCHED says.
+        eng.set_unbatched(false);
+        eng.set_threads(1);
+        eng.set_shards(shards);
+        let tracer = Tracer::aggregate_only();
+        eng.set_tracer(tracer.clone());
+        exec.log.schedule_into(&mut eng, None)?;
+        eng.run()?;
+        let secs = tracer.aggregate().total_secs("engine.run");
+        if best.as_ref().is_none_or(|(_, b)| secs < *b) {
+            best = Some((eng, secs));
+        }
+    }
+    Ok(best.expect("at least one run"))
+}
+
+/// Replays the campus workload at each of `shard_counts` shards and
+/// checks that every count digests to the identical provenance stream.
+///
+/// Doubles as the sustained packet-rate leg (small tables, heavy
+/// `background_packets`) and the million-entry leg (heavy tables, light
+/// traffic, `runs = 1`): the workload shape is entirely the caller's.
+pub fn shard_bench(
+    min_entries: usize,
+    background_packets: usize,
+    shard_counts: &[usize],
+    runs: usize,
+) -> Result<ShardBenchResult> {
+    let per_bulk = 16 * 15;
+    let cfg = CampusConfig {
+        bulk_entries_per_router: min_entries / per_bulk + 1,
+        background_packets,
+        ..Default::default()
+    };
+    let c = campus(&cfg);
+    let exec = &c.scenario.bad_exec;
+    let mut points = Vec::new();
+    for &shards in shard_counts {
+        let (eng, secs) = timed_replay_sharded(exec, shards, runs)?;
+        let stats = eng.stats();
+        points.push(ShardScalePoint {
+            shards,
+            secs,
+            events: stats.events,
+            shard_loads: eng.shard_loads().to_vec(),
+            cross_shard_msgs: stats.cross_shard_msgs,
+            sharded_batches: stats.sharded_batches,
+            peak_interned: stats.peak_interned,
+            stream_digest: eng.sink().digest(),
+            stream_events: eng.sink().count,
+        });
+    }
+    let streams_identical = points
+        .windows(2)
+        .all(|w| w[0].stream_digest == w[1].stream_digest && w[0].stream_events == w[1].stream_events);
+    Ok(ShardBenchResult {
+        entries: c.entry_count,
+        background_packets,
+        points,
         streams_identical,
     })
 }
@@ -467,12 +609,51 @@ pub fn scenario_parity() -> Result<Vec<ScenarioParity>> {
     Ok(out)
 }
 
+/// Renders one shard-scaling result as a named JSON section, appended to
+/// `s` with a trailing comma.
+fn shard_section(s: &mut String, key: &str, r: &ShardBenchResult) {
+    s.push_str(&format!("  \"{key}\": {{\n"));
+    s.push_str(&format!("    \"entries\": {},\n", r.entries));
+    s.push_str(&format!(
+        "    \"background_packets\": {},\n",
+        r.background_packets
+    ));
+    s.push_str("    \"points\": [\n");
+    for (i, p) in r.points.iter().enumerate() {
+        let loads: Vec<String> = p.shard_loads.iter().map(|l| l.to_string()).collect();
+        s.push_str(&format!(
+            "      {{\"shards\": {}, \"secs\": {:.6}, \"events\": {}, \
+             \"tuples_per_sec\": {:.0}, \"shard_loads\": [{}], \
+             \"cross_shard_msgs\": {}, \"sharded_batches\": {}, \
+             \"peak_interned\": {}, \"speedup\": {:.2}}}{}\n",
+            p.shards,
+            p.secs,
+            p.events,
+            p.events as f64 / p.secs.max(1e-12),
+            loads.join(", "),
+            p.cross_shard_msgs,
+            p.sharded_batches,
+            p.peak_interned,
+            r.speedup_at(p.shards),
+            if i + 1 < r.points.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("    ],\n");
+    s.push_str(&format!(
+        "    \"streams_identical\": {}\n  }},\n",
+        r.streams_identical
+    ));
+}
+
 /// Renders the benchmark results as a JSON document (hand-rolled; the
 /// workspace builds offline, without serde).
 pub fn to_json(
     bench: &EngineBenchResult,
     load: &LoadBenchResult,
     fib: &FibBenchResult,
+    shard: &ShardBenchResult,
+    rate: &ShardBenchResult,
+    million: Option<&ShardBenchResult>,
     parity: &[ScenarioParity],
 ) -> String {
     let mut s = String::new();
@@ -539,6 +720,10 @@ pub fn to_json(
     ));
     s.push_str(&format!("    \"peak_tuples\": {},\n", bench.peak_tuples));
     s.push_str(&format!(
+        "    \"peak_interned\": {},\n",
+        bench.peak_interned
+    ));
+    s.push_str(&format!(
         "    \"streams_identical\": {}\n  }},\n",
         bench.streams_identical
     ));
@@ -580,6 +765,11 @@ pub fn to_json(
         "    \"streams_identical\": {}\n  }},\n",
         fib.streams_identical
     ));
+    shard_section(&mut s, "shard_scaling", shard);
+    shard_section(&mut s, "packet_rate", rate);
+    if let Some(m) = million {
+        shard_section(&mut s, "million_entry", m);
+    }
     s.push_str("  \"parity\": [\n");
     for (i, p) in parity.iter().enumerate() {
         s.push_str(&format!(
@@ -633,7 +823,28 @@ mod tests {
             l.batched_steps,
             l.streamed_steps
         );
-        let json = to_json(&b, &l, &f, &[]);
+        let s = shard_bench(2_000, 10, &[1, 2, 4], 1).expect("shard bench runs");
+        assert_eq!(s.points.len(), 3);
+        assert!(
+            s.streams_identical,
+            "shard counts must digest identical streams"
+        );
+        for p in &s.points {
+            assert_eq!(p.shard_loads.len(), p.shards);
+            assert_eq!(p.events, s.points[0].events);
+            assert!(p.peak_interned > 0, "peak_interned must be accounted");
+            if p.shards > 1 {
+                assert!(p.sharded_batches > 0, "{} shards never dispatched", p.shards);
+                assert!(
+                    p.shard_loads.iter().filter(|&&l| l > 0).count() > 1,
+                    "campus nodes all hashed onto one of {} shards",
+                    p.shards
+                );
+            } else {
+                assert_eq!(p.cross_shard_msgs, 0);
+            }
+        }
+        let json = to_json(&b, &l, &f, &s, &s, Some(&s), &[]);
         assert!(json.contains("\"streams_identical\": true"));
         assert!(json.contains("\"fib_lookup\""));
         assert!(json.contains("\"entries\""));
@@ -643,5 +854,12 @@ mod tests {
         assert!(json.contains("\"batch_speedup\""));
         assert!(json.contains("\"trie_speedup\""));
         assert!(json.contains("\"trie_probes\""));
+        assert!(json.contains("\"peak_interned\""));
+        assert!(json.contains("\"shard_scaling\""));
+        assert!(json.contains("\"packet_rate\""));
+        assert!(json.contains("\"million_entry\""));
+        assert!(json.contains("\"shard_loads\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

@@ -41,4 +41,4 @@ pub use plan::{IpSource, JoinPlan, JoinStep, PlanSet, PrefixProbe};
 pub use program::{
     Emission, Emitter, NativeRule, Program, ProgramBuilder, StatefulBuiltin, TupleChange,
 };
-pub use sink::{NullSink, ProvEvent, ProvenanceSink, VecSink};
+pub use sink::{HashSink, NullSink, ProvEvent, ProvenanceSink, VecSink};

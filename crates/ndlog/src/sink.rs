@@ -32,7 +32,7 @@ use dp_types::{LogicalTime, NodeId, Sym, Tuple, TupleRef};
 /// tuples, DERIVE/UNDERIVE for rule firings and their invalidation, and
 /// APPEAR/DISAPPEAR for support transitions (EXIST intervals are derived
 /// from APPEAR/DISAPPEAR pairs by the graph builder).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum ProvEvent {
     /// A base tuple was inserted.
     InsertBase {
@@ -113,6 +113,19 @@ impl ProvEvent {
             | ProvEvent::Disappear { time, .. } => *time,
         }
     }
+
+    /// The node the event concerns — the one whose table universe changed.
+    /// Under sharded evaluation this keys the event to its owning shard.
+    pub fn node(&self) -> &NodeId {
+        match self {
+            ProvEvent::InsertBase { node, .. }
+            | ProvEvent::DeleteBase { node, .. }
+            | ProvEvent::Derive { node, .. }
+            | ProvEvent::Underive { node, .. }
+            | ProvEvent::Appear { node, .. }
+            | ProvEvent::Disappear { node, .. } => node,
+        }
+    }
 }
 
 /// A consumer of the engine's provenance event stream.
@@ -161,6 +174,49 @@ impl ProvenanceSink for VecSink {
 
     fn record_batch(&mut self, events: &mut Vec<ProvEvent>) {
         self.events.append(events);
+    }
+}
+
+/// A sink that folds the stream into an order-sensitive digest plus an
+/// event count, without retaining the events.
+///
+/// The million-entry benchmark legs compare provenance streams across
+/// engine configurations; buffering several million events per leg just
+/// to compare them would dominate the memory profile, so the comparison
+/// runs over digests instead. The digest hashes `(index, event)` pairs,
+/// so it distinguishes reorderings, not just multisets. `DefaultHasher`'s
+/// *seed* is fixed (only `RandomState` randomizes), so two sinks in one
+/// process — or across processes on the same build — agree iff their
+/// streams are byte-identical.
+#[derive(Clone, Debug, Default)]
+pub struct HashSink {
+    /// Events observed so far.
+    pub count: u64,
+    digest: u64,
+}
+
+impl HashSink {
+    /// The running order-sensitive digest of the stream.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+}
+
+impl ProvenanceSink for HashSink {
+    fn record(&mut self, event: ProvEvent) {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.digest.hash(&mut h);
+        self.count.hash(&mut h);
+        event.hash(&mut h);
+        self.digest = h.finish();
+        self.count += 1;
+    }
+
+    fn record_batch(&mut self, events: &mut Vec<ProvEvent>) {
+        for event in events.drain(..) {
+            self.record(event);
+        }
     }
 }
 

@@ -183,6 +183,12 @@ fn strip_batch_counters(stats: dp_ndlog::Stats) -> dp_ndlog::Stats {
         batches: 0,
         batched_deltas: 0,
         parallel_batches: 0,
+        // Sharded batches only form on the batched path, and per-shard
+        // interners fill differently between the disciplines (the
+        // unbatched path re-interns derived heads only into their owning
+        // shard), so these effort counters differ under `DP_SHARDS>1`.
+        sharded_batches: 0,
+        peak_interned: 0,
         join_probes: 0,
         join_scans: 0,
         join_candidates: 0,

@@ -830,19 +830,32 @@ fn messages_to_undeclared_nodes_do_not_panic() {
         .unwrap()
         .build()
         .unwrap();
-    let mut eng = Engine::new(program, VecSink::default());
-    let n = NodeId::new("n");
-    let ghost = NodeId::new("ghost");
-    // A deletion scheduled against a node with no state is a no-op, not a
-    // panic (the tuple can't exist there).
-    eng.schedule_delete(0, ghost.clone(), tuple!("nbr", "x")).unwrap();
-    // The fwd rule routes pong to "ghost", which has no state when the
-    // tuple arrives; the ack rule then fires *at* the undeclared node.
-    eng.schedule_insert(1, n.clone(), tuple!("nbr", "ghost")).unwrap();
-    eng.schedule_insert(2, n, tuple!("ping", 7)).unwrap();
-    eng.run().unwrap();
-    assert!(eng.lookup(&ghost, &tuple!("pong", 7)).is_some());
-    assert!(eng.lookup(&ghost, &tuple!("echo", 7)).is_some());
+    // The same schedule must behave identically at every shard count: an
+    // undeclared destination hashes to *some* shard, which materializes
+    // the empty node state on arrival — never a worker panic and never a
+    // divergent stream.
+    let mut reference: Option<Vec<ProvEvent>> = None;
+    for shards in [1usize, 2, 4] {
+        let mut eng = Engine::new(program.clone(), VecSink::default());
+        eng.set_shards(shards);
+        let n = NodeId::new("n");
+        let ghost = NodeId::new("ghost");
+        // A deletion scheduled against a node with no state is a no-op,
+        // not a panic (the tuple can't exist there).
+        eng.schedule_delete(0, ghost.clone(), tuple!("nbr", "x")).unwrap();
+        // The fwd rule routes pong to "ghost", which has no state when the
+        // tuple arrives; the ack rule then fires *at* the undeclared node.
+        eng.schedule_insert(1, n.clone(), tuple!("nbr", "ghost")).unwrap();
+        eng.schedule_insert(2, n, tuple!("ping", 7)).unwrap();
+        eng.run().unwrap();
+        assert!(eng.lookup(&ghost, &tuple!("pong", 7)).is_some(), "{shards} shards");
+        assert!(eng.lookup(&ghost, &tuple!("echo", 7)).is_some(), "{shards} shards");
+        let events = eng.into_sink().events;
+        match &reference {
+            None => reference = Some(events),
+            Some(r) => assert_eq!(r, &events, "stream diverges at {shards} shards"),
+        }
+    }
 }
 
 #[test]
@@ -890,5 +903,141 @@ fn event_budget_errors_cleanly_with_provenance_flushed() {
         [("unbatched", true, 1), ("2 threads", false, 2), ("4 threads", false, 4)]
     {
         assert_eq!(reference, run(unbatched, threads), "{label}: flushed streams diverge");
+    }
+}
+
+/// Picks node names that land on distinct shards under both 2-way and
+/// 4-way FNV-1a assignment, so the tests below are guaranteed to cross
+/// a shard boundary at every count they run at.
+fn cross_shard_pair() -> (NodeId, NodeId) {
+    let a2 = dp_types::ShardAssignment::new(2);
+    let a4 = dp_types::ShardAssignment::new(4);
+    let names: Vec<String> = (0..64).map(|i| format!("w{i}")).collect();
+    let a = &names[0];
+    let b = names
+        .iter()
+        .find(|b| a2.shard_of(b) != a2.shard_of(a) && a4.shard_of(b) != a4.shard_of(a))
+        .expect("some name must hash away from w0");
+    (NodeId::new(a.as_str()), NodeId::new(b.as_str()))
+}
+
+#[test]
+fn cross_shard_message_within_one_batch_matches_serial() {
+    // Both shards contribute deltas to the *same* batch, and firing one
+    // shard's delta produces a derived head owned by the other — the
+    // exact case where the merge must restore every shard's store before
+    // re-interning cross-shard heads, and where the inbox routing could
+    // reorder emissions. The stream must stay byte-identical to serial.
+    let mut reg = SchemaRegistry::new();
+    reg.declare(Schema::new("ping", TableKind::ImmutableBase, [("v", FieldType::Int)]));
+    reg.declare(Schema::new("nbr", TableKind::MutableBase, [("next", FieldType::Str)]));
+    reg.declare(Schema::new("pong", TableKind::Derived, [("v", FieldType::Int)]));
+    reg.declare(Schema::new("echo", TableKind::Derived, [("v", FieldType::Int)]));
+    let program = Program::builder(reg)
+        .rules_text(
+            "fwd pong(@M, V) :- ping(@N, V), nbr(@N, M).\n\
+             ack echo(@M, W) :- pong(@M, V), W := V + 1.",
+        )
+        .unwrap()
+        .build()
+        .unwrap();
+    let (a, b) = cross_shard_pair();
+    let run = |shards: usize| {
+        let mut eng = Engine::new(program.clone(), VecSink::default());
+        // Sharding lives in the batched flush (tuple-at-a-time is always
+        // serial), so pin the discipline: the dispatch-count assertions
+        // below must hold even under a DP_UNBATCHED=1 test leg.
+        eng.set_unbatched(false);
+        eng.set_shards(shards);
+        // Mutual neighbours, so due-5 ping batches on *both* nodes send
+        // heads across the boundary in both directions at once.
+        eng.schedule_insert(0, a.clone(), tuple!("nbr", b.as_str())).unwrap();
+        eng.schedule_insert(0, b.clone(), tuple!("nbr", a.as_str())).unwrap();
+        for v in 0..6i64 {
+            eng.schedule_insert(5, a.clone(), tuple!("ping", v)).unwrap();
+            eng.schedule_insert(5, b.clone(), tuple!("ping", v + 100)).unwrap();
+        }
+        eng.run().unwrap();
+        assert!(eng.lookup(&b, &tuple!("pong", 0)).is_some(), "{shards} shards");
+        assert!(eng.lookup(&a, &tuple!("echo", 101)).is_some(), "{shards} shards");
+        let stats = eng.stats();
+        (eng.into_sink().events, stats)
+    };
+    let (serial_events, serial_stats) = run(1);
+    assert_eq!(serial_stats.cross_shard_msgs, 0);
+    for shards in [2usize, 4] {
+        let (events, stats) = run(shards);
+        assert_eq!(serial_events, events, "stream diverges at {shards} shards");
+        assert!(stats.sharded_batches > 0, "{shards} shards never dispatched the pool");
+        assert!(
+            stats.cross_shard_msgs >= 12,
+            "{shards} shards: expected every pong head to cross, saw {}",
+            stats.cross_shard_msgs
+        );
+    }
+}
+
+#[test]
+fn sharded_snapshot_round_trips_through_the_serial_snapshot() {
+    // A snapshot taken from a sharded engine is the same serial
+    // `EngineSnapshot` a 1-shard engine produces: node ownership is
+    // disjoint, so the shard maps merge losslessly — and restoring it at
+    // *any* shard count, then finishing the schedule, must reach the
+    // fixpoint of an uninterrupted serial run.
+    let mut reg = SchemaRegistry::new();
+    reg.declare(Schema::new("ping", TableKind::ImmutableBase, [("v", FieldType::Int)]));
+    reg.declare(Schema::new("nbr", TableKind::MutableBase, [("next", FieldType::Str)]));
+    reg.declare(Schema::new("pong", TableKind::Derived, [("v", FieldType::Int)]));
+    let program = Program::builder(reg)
+        .rules_text("fwd pong(@M, V) :- ping(@N, V), nbr(@N, M).")
+        .unwrap()
+        .build()
+        .unwrap();
+    let (a, b) = cross_shard_pair();
+    let phase1 = |eng: &mut Engine<VecSink>| {
+        eng.schedule_insert(0, a.clone(), tuple!("nbr", b.as_str())).unwrap();
+        eng.schedule_insert(0, b.clone(), tuple!("nbr", a.as_str())).unwrap();
+        for v in 0..4i64 {
+            eng.schedule_insert(2, a.clone(), tuple!("ping", v)).unwrap();
+        }
+    };
+    let phase2 = |eng: &mut Engine<VecSink>| {
+        for v in 0..4i64 {
+            eng.schedule_insert(100, b.clone(), tuple!("ping", v + 50)).unwrap();
+        }
+    };
+    let fixpoint = |eng: &Engine<VecSink>| -> Vec<(NodeId, Tuple, usize)> {
+        eng.nodes()
+            .flat_map(|(node, st)| {
+                st.all()
+                    .map(|(t, s)| (node.clone(), t.clone(), s.support()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+
+    // Uninterrupted serial reference.
+    let mut reference = Engine::new(program.clone(), VecSink::default());
+    phase1(&mut reference);
+    reference.run().unwrap();
+    phase2(&mut reference);
+    reference.run().unwrap();
+    let want = fixpoint(&reference);
+
+    // Sharded run → snapshot → restore at 1, 2, and 4 shards.
+    let mut first = Engine::new(program.clone(), VecSink::default());
+    first.set_shards(4);
+    phase1(&mut first);
+    first.run().unwrap();
+    let snap = first.snapshot().unwrap();
+    assert_eq!(snap.time(), first.snapshot().unwrap().time());
+    for shards in [1usize, 2, 4] {
+        let mut resumed =
+            Engine::restore(program.clone(), snap.clone(), VecSink::default()).unwrap();
+        resumed.set_shards(shards);
+        phase2(&mut resumed);
+        resumed.run().unwrap();
+        assert_eq!(want, fixpoint(&resumed), "restored at {shards} shards");
+        assert!(resumed.lookup(&a, &tuple!("pong", 53)).is_some(), "{shards} shards");
     }
 }

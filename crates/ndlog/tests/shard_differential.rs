@@ -1,0 +1,342 @@
+//! Differential test of node-sharded evaluation (`Engine::set_shards`)
+//! against the single-universe serial engine. Sharding partitions the
+//! node space across long-lived workers, each owning its nodes' states,
+//! its own tuple interner, and its own provenance buffer; cross-shard
+//! `@loc` messages travel through per-shard inboxes and the buffers are
+//! merged in emission-sequence order at batch boundaries. None of that
+//! machinery may be observable: random programs — deliberately heavy on
+//! cross-node messages (the only traffic that crosses shards) and
+//! including aggregation fences and two-hop forward chains — and all 9
+//! repro scenarios are executed at 1, 2, and 4 shards, and every run
+//! must agree byte-for-byte on the provenance event stream, the rule
+//! firing counts, the stats (minus the shard effort counters), the
+//! final fixpoint, and the rendered trace skeleton.
+//!
+//! This is the safety net for the sharded engine: a mis-merged buffer,
+//! a message landed out of arrival order, a head interned into the
+//! wrong shard's store, or a shard observing another shard's same-batch
+//! delta all show up as a divergence here. Programs come from the
+//! in-repo deterministic generator (offline build — no property-testing
+//! framework), so every case is reproducible from the seeds below.
+
+use std::sync::Arc;
+
+use dp_ndlog::{Engine, Program, ProvEvent, VecSink};
+use dp_trace::Tracer;
+use dp_types::{
+    tuple, DetRng, FieldType, NodeId, Schema, SchemaRegistry, Sym, TableKind, Tuple,
+};
+
+/// Six nodes so that 2 and 4 shards both split the roster non-trivially
+/// under the stable FNV-1a assignment.
+const NODES: [&str; 6] = ["n0", "n1", "n2", "n3", "n4", "n5"];
+const SHARD_COUNTS: [usize; 2] = [2, 4];
+const VARS: [&str; 2] = ["X", "Y"];
+
+fn registry() -> SchemaRegistry {
+    let mut reg = SchemaRegistry::new();
+    reg.declare(Schema::new(
+        "ln",
+        TableKind::MutableBase,
+        [("x", FieldType::Int), ("y", FieldType::Int)],
+    ));
+    reg.declare(Schema::new(
+        "nbr",
+        TableKind::MutableBase,
+        [("next", FieldType::Str)],
+    ));
+    reg.declare(Schema::new(
+        "fence",
+        TableKind::MutableBase,
+        [("g", FieldType::Int)],
+    ));
+    reg.declare(Schema::new("d", TableKind::Derived, [("v", FieldType::Int)]));
+    reg.declare(Schema::new("msg", TableKind::Derived, [("v", FieldType::Int)]));
+    reg.declare(Schema::new("hop", TableKind::Derived, [("v", FieldType::Int)]));
+    reg.declare(Schema::new("tot", TableKind::Derived, [("c", FieldType::Int)]));
+    reg
+}
+
+fn arb_pattern(rng: &mut DetRng, bound: &mut Vec<&'static str>) -> String {
+    match rng.gen_range_usize(0, 10) {
+        0..=6 => {
+            let v = VARS[rng.gen_range_usize(0, VARS.len())];
+            if !bound.contains(&v) {
+                bound.push(v);
+            }
+            v.to_string()
+        }
+        7 | 8 => rng.gen_range_i64(-2, 3).to_string(),
+        _ => "_".to_string(),
+    }
+}
+
+/// Local rule shapes: single-atom projections, self-joins, arithmetic
+/// heads, and aggregation fences. Cross-node traffic is added separately
+/// so every generated program exercises the shard boundary.
+fn arb_rule(rng: &mut DetRng, i: usize) -> String {
+    match rng.gen_range_usize(0, 5) {
+        0 | 1 => {
+            let mut bound = Vec::new();
+            let p1 = arb_pattern(rng, &mut bound);
+            let p2 = arb_pattern(rng, &mut bound);
+            if bound.is_empty() {
+                return format!("r{i} d(@N, X) :- ln(@N, X, _).");
+            }
+            let head = bound[rng.gen_range_usize(0, bound.len())];
+            format!("r{i} d(@N, {head}) :- ln(@N, {p1}, {p2}).")
+        }
+        2 => format!("r{i} d(@N, X) :- ln(@N, X, Y), ln(@N, Y, _)."),
+        3 => format!("r{i} d(@N, W) :- ln(@N, X, Y), W := X + Y."),
+        _ => {
+            let agg = ["agg_sum", "agg_count", "agg_max"][rng.gen_range_usize(0, 3)];
+            format!("r{i} tot(@N, {agg}(X)) :- fence(@N, G), ln(@N, X, Y).")
+        }
+    }
+}
+
+fn arb_program(rng: &mut DetRng) -> Option<Arc<Program>> {
+    let mut text = String::new();
+    for i in 0..rng.gen_range_usize(1, 3) {
+        text.push_str(&arb_rule(rng, i));
+        text.push('\n');
+    }
+    // Every case forwards across the node space — the only traffic that
+    // crosses shard boundaries — and half the cases chain a second hop,
+    // so a message received from another shard re-fires and emits again
+    // within the same batch cascade.
+    text.push_str("fwd msg(@M, X) :- ln(@N, X, _), nbr(@N, M).\n");
+    if rng.gen_bool(0.5) {
+        text.push_str("hp hop(@M, V) :- msg(@N, V), nbr(@N, M).\n");
+    }
+    Program::builder(registry())
+        .rules_text(&text)
+        .ok()?
+        .build()
+        .ok()
+}
+
+/// (is_delete, node index, x, y, due).
+type Op = (bool, usize, i64, i64, u64);
+
+/// Random `ln` churn over the roster. Dues come from a tiny domain so
+/// most events share a timestamp (deep batches spanning several shards),
+/// and deletes land in the same tick as inserts.
+fn arb_ops(rng: &mut DetRng) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for _ in 0..rng.gen_range_usize(4, 30) {
+        let n = rng.gen_range_usize(0, NODES.len());
+        let due = rng.gen_range_u64(1, 7);
+        let x = rng.gen_range_i64(-2, 3);
+        let y = rng.gen_range_i64(-2, 3);
+        if rng.gen_bool(0.15) {
+            // Replacement: delete one tuple and insert another, same tick.
+            ops.push((true, n, x, y, due));
+            ops.push((false, n, rng.gen_range_i64(-2, 3), y, due));
+        } else {
+            ops.push((rng.gen_bool(0.25), n, x, y, due));
+        }
+    }
+    ops
+}
+
+struct Outcome {
+    skeleton: String,
+    events: Vec<ProvEvent>,
+    firings: std::collections::BTreeMap<Sym, u64>,
+    stats: dp_ndlog::Stats,
+    fixpoint: Vec<(NodeId, Tuple, usize)>,
+}
+
+fn run(program: &Arc<Program>, rng_topo: &mut DetRng, ops: &[Op], shards: usize) -> Outcome {
+    let mut eng = Engine::new(Arc::clone(program), VecSink::default());
+    // Threads pinned to 1 so sharding is the only variable; the
+    // shard×thread composition is covered by check.sh's combined leg.
+    // The discipline is pinned to batched because sharding lives in the
+    // batched flush — under a DP_UNBATCHED=1 leg the vacuity guards
+    // (sharded batches, cross-shard crossings) would otherwise starve.
+    eng.set_unbatched(false);
+    eng.set_threads(1);
+    eng.set_shards(shards);
+    let tracer = Tracer::full();
+    eng.set_tracer(tracer.clone());
+    // Topology at tick 0: every node exists (one seed fact) and points at
+    // 1–2 random neighbours, so `@M` heads always name declared nodes and
+    // most forwards cross a shard boundary. The topology RNG is cloned by
+    // the caller so all shard counts see the identical schedule.
+    for (i, name) in NODES.iter().enumerate() {
+        let node = NodeId::new(*name);
+        eng.schedule_insert(0, node.clone(), tuple!("ln", i as i64, 0i64))
+            .unwrap();
+        for _ in 0..rng_topo.gen_range_usize(1, 3) {
+            let next = NODES[rng_topo.gen_range_usize(0, NODES.len())];
+            eng.schedule_insert(0, node.clone(), tuple!("nbr", next))
+                .unwrap();
+        }
+        if rng_topo.gen_bool(0.5) {
+            eng.schedule_insert(
+                rng_topo.gen_range_u64(3, 7),
+                node.clone(),
+                tuple!("fence", 1i64),
+            )
+            .unwrap();
+        }
+    }
+    for &(is_delete, n, x, y, due) in ops {
+        let node = NodeId::new(NODES[n]);
+        let tup = tuple!("ln", x, y);
+        if is_delete {
+            eng.schedule_delete(due, node, tup).unwrap();
+        } else {
+            eng.schedule_insert(due, node, tup).unwrap();
+        }
+    }
+    eng.run().unwrap();
+    let firings = eng.rule_firings().clone();
+    let stats = eng.stats();
+    let fixpoint = eng
+        .nodes()
+        .flat_map(|(node, st)| {
+            st.all()
+                .map(|(t, s)| (node.clone(), t.clone(), s.support()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    Outcome {
+        skeleton: tracer.finish().skeleton(),
+        events: eng.into_sink().events,
+        firings,
+        stats,
+        fixpoint,
+    }
+}
+
+/// The shard effort counters are the only legitimate difference between
+/// shard counts: `sharded_batches` only ticks when the shard pool is
+/// dispatched, `cross_shard_msgs` counts boundary crossings that a
+/// single universe never has, and `peak_interned` sums per-shard
+/// interners that fill differently once derived heads are re-interned at
+/// their destination. Everything semantic — including the join effort
+/// profile, since firing is node-local either way — must agree exactly.
+fn strip_shard_counters(stats: dp_ndlog::Stats) -> dp_ndlog::Stats {
+    dp_ndlog::Stats {
+        sharded_batches: 0,
+        cross_shard_msgs: 0,
+        peak_interned: 0,
+        ..stats
+    }
+}
+
+#[test]
+fn sharded_and_serial_agree_on_random_programs() {
+    let mut rng = DetRng::seed_from_u64(0x5AAD_D1FF);
+    let mut cases = 0usize;
+    let mut total_cross_shard = 0u64;
+    let mut total_sharded_batches = 0u64;
+    while cases < 64 {
+        let Some(program) = arb_program(&mut rng) else {
+            continue; // Rejected by the builder.
+        };
+        let topo_seed = rng.gen_range_u64(0, u64::MAX);
+        let ops = arb_ops(&mut rng);
+        cases += 1;
+        let serial = run(&program, &mut DetRng::seed_from_u64(topo_seed), &ops, 1);
+        assert_eq!(serial.stats.sharded_batches, 0, "serial path sharded?");
+        assert_eq!(serial.stats.cross_shard_msgs, 0, "serial path crossed?");
+        for shards in SHARD_COUNTS {
+            let sharded = run(&program, &mut DetRng::seed_from_u64(topo_seed), &ops, shards);
+            assert_eq!(
+                serial.events, sharded.events,
+                "provenance streams diverge at {shards} shards (case {cases})"
+            );
+            assert_eq!(
+                serial.skeleton, sharded.skeleton,
+                "trace skeleton diverges at {shards} shards (case {cases})"
+            );
+            assert_eq!(
+                serial.firings, sharded.firings,
+                "{shards} shards (case {cases})"
+            );
+            assert_eq!(
+                strip_shard_counters(serial.stats),
+                strip_shard_counters(sharded.stats),
+                "{shards} shards (case {cases})"
+            );
+            assert_eq!(
+                serial.fixpoint, sharded.fixpoint,
+                "{shards} shards (case {cases})"
+            );
+            total_cross_shard += sharded.stats.cross_shard_msgs;
+            total_sharded_batches += sharded.stats.sharded_batches;
+        }
+    }
+    // The generator must actually drive traffic across shard boundaries,
+    // or the suite proves nothing.
+    assert!(
+        total_sharded_batches > 200,
+        "suite barely sharded: {total_sharded_batches} sharded batches"
+    );
+    assert!(
+        total_cross_shard > 200,
+        "suite barely crossed shards: {total_cross_shard} messages"
+    );
+}
+
+/// Replays one scenario execution at the given shard count with a full
+/// tracer, returning everything observable.
+fn replay_sharded(
+    exec: &dp_replay::Execution,
+    shards: usize,
+) -> (String, Vec<ProvEvent>, dp_ndlog::Stats) {
+    let mut eng = Engine::new(Arc::clone(&exec.program), VecSink::default());
+    eng.set_unbatched(false);
+    eng.set_threads(1);
+    eng.set_shards(shards);
+    let tracer = Tracer::full();
+    eng.set_tracer(tracer.clone());
+    exec.log.schedule_into(&mut eng, None).unwrap();
+    eng.run().unwrap();
+    let stats = eng.stats();
+    (tracer.finish().skeleton(), eng.into_sink().events, stats)
+}
+
+/// All 9 repro scenarios (4 SDN, 4 MapReduce, campus), good and bad
+/// traces, replay to bit-identical provenance streams, skeletons, and
+/// stripped stats at 1, 2, and 4 shards.
+#[test]
+fn sharded_and_serial_agree_on_all_repro_scenarios() {
+    let mut scenarios = dp_sdn::all_sdn_scenarios();
+    scenarios.extend(dp_mapreduce::all_mr_scenarios());
+    scenarios.push(dp_sdn::campus(&dp_sdn::CampusConfig::default()).scenario);
+    assert_eq!(scenarios.len(), 9, "repro corpus changed size");
+    let mut total_sharded_batches = 0u64;
+    for s in &scenarios {
+        for (label, exec) in [("good", &s.good_exec), ("bad", &s.bad_exec)] {
+            let (ref_skel, ref_events, ref_stats) = replay_sharded(exec, 1);
+            for shards in SHARD_COUNTS {
+                let (skel, events, stats) = replay_sharded(exec, shards);
+                assert_eq!(
+                    ref_events, events,
+                    "scenario {} ({label} trace): stream diverges at {shards} shards",
+                    s.name
+                );
+                assert_eq!(
+                    ref_skel, skel,
+                    "scenario {} ({label} trace): skeleton diverges at {shards} shards",
+                    s.name
+                );
+                assert_eq!(
+                    strip_shard_counters(ref_stats),
+                    strip_shard_counters(stats),
+                    "scenario {} ({label} trace): stats diverge at {shards} shards",
+                    s.name
+                );
+                total_sharded_batches += stats.sharded_batches;
+            }
+        }
+    }
+    assert!(
+        total_sharded_batches > 0,
+        "no scenario formed a sharded batch"
+    );
+}

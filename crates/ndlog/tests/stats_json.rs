@@ -26,20 +26,25 @@ fn stats_json_golden() {
         batches: 13,
         batched_deltas: 14,
         parallel_batches: 15,
+        sharded_batches: 16,
+        cross_shard_msgs: 17,
+        peak_interned: 18,
     };
     assert_eq!(
         s.to_json(),
         "{\"events\":1,\"base_inserts\":2,\"base_deletes\":3,\"derivations\":4,\
          \"underivations\":5,\"join_probes\":6,\"join_scans\":7,\"trie_probes\":8,\
          \"trie_scans\":9,\"join_candidates\":10,\"join_matches\":11,\"peak_tuples\":12,\
-         \"batches\":13,\"batched_deltas\":14,\"parallel_batches\":15}"
+         \"batches\":13,\"batched_deltas\":14,\"parallel_batches\":15,\
+         \"sharded_batches\":16,\"cross_shard_msgs\":17,\"peak_interned\":18}"
     );
     assert_eq!(
         Stats::default().to_json(),
         "{\"events\":0,\"base_inserts\":0,\"base_deletes\":0,\"derivations\":0,\
          \"underivations\":0,\"join_probes\":0,\"join_scans\":0,\"trie_probes\":0,\
          \"trie_scans\":0,\"join_candidates\":0,\"join_matches\":0,\"peak_tuples\":0,\
-         \"batches\":0,\"batched_deltas\":0,\"parallel_batches\":0}"
+         \"batches\":0,\"batched_deltas\":0,\"parallel_batches\":0,\
+         \"sharded_batches\":0,\"cross_shard_msgs\":0,\"peak_interned\":0}"
     );
 }
 

@@ -212,6 +212,12 @@ fn strip_effort_counters(stats: dp_ndlog::Stats) -> dp_ndlog::Stats {
         batches: 0,
         batched_deltas: 0,
         parallel_batches: 0,
+        // Effort-only shard counters: the comparisons here cross firing
+        // disciplines too, and sharded batches only form on the batched
+        // path (see the batch differential suite).
+        sharded_batches: 0,
+        cross_shard_msgs: 0,
+        peak_interned: 0,
         join_probes: 0,
         join_scans: 0,
         join_candidates: 0,

@@ -44,6 +44,12 @@ pub struct Execution {
     /// the other flags, every setting replays the identical provenance
     /// stream; `1` pins the serial reference path for differential checks.
     pub threads: usize,
+    /// Shard count for the engines this execution builds. `0` (the
+    /// default) leaves the engine's own default in place — the `DP_SHARDS`
+    /// environment variable, or 1. Like the other flags, every setting
+    /// replays the identical provenance stream; `1` pins the serial
+    /// single-universe engine for differential checks.
+    pub shards: usize,
     /// Tracer threaded into every engine, recorder, and tree extraction
     /// this execution performs (disabled by default, in which case each
     /// engine falls back to its own `DP_TRACE` default). Cloned freely —
@@ -126,6 +132,7 @@ impl Execution {
             unbatched: false,
             no_trie: false,
             threads: 0,
+            shards: 0,
             tracer: Tracer::disabled(),
         }
     }
@@ -140,6 +147,9 @@ impl Execution {
         engine.set_no_trie(self.no_trie || engine.no_trie());
         if self.threads != 0 {
             engine.set_threads(self.threads);
+        }
+        if self.shards != 0 {
+            engine.set_shards(self.shards);
         }
         if self.tracer.is_enabled() {
             engine.set_tracer(self.tracer.clone());
@@ -210,6 +220,7 @@ impl Execution {
             unbatched: self.unbatched,
             no_trie: self.no_trie,
             threads: self.threads,
+            shards: self.shards,
             tracer: self.tracer.clone(),
         };
         clone.replay()

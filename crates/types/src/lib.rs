@@ -25,6 +25,7 @@ pub mod error;
 pub mod prefix;
 pub mod rng;
 pub mod schema;
+pub mod shard;
 pub mod sym;
 pub mod trace;
 pub mod trie;
@@ -35,6 +36,7 @@ pub use error::{Error, Result};
 pub use prefix::Prefix;
 pub use rng::DetRng;
 pub use schema::{FieldDecl, FieldType, Schema, SchemaRegistry, TableKind};
+pub use shard::ShardAssignment;
 pub use sym::Sym;
 pub use trace::{SpanId, TraceId};
 pub use trie::PrefixTrie;

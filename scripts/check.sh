@@ -31,4 +31,12 @@ DP_THREADS=4 cargo test --release --workspace -q
 # suites (which compare provenance streams byte-for-byte) double as the
 # proof that tracing never perturbs evaluation.
 DP_TRACE=1 cargo test --release --workspace -q
+# Seventh pass with node-sharded evaluation as the default: every engine
+# the suite builds (minus those that pin their own shard count)
+# partitions its node universe across 4 shard workers, and the
+# differential suites prove the shard merge is invisible.
+DP_SHARDS=4 cargo test --release --workspace -q
+# Eighth pass composes sharding with the intra-shard worker pool: each of
+# 2 shards fires large batches on 2 chunk workers.
+DP_SHARDS=2 DP_THREADS=2 cargo test --release --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
