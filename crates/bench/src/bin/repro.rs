@@ -9,14 +9,15 @@ use dp_bench::{
     ablation, complex, engine_bench, latency, query, storage, table1, trace_cmd, unsuitable,
 };
 
-/// Knobs for `enginebench`'s million-entry shard leg, settable anywhere
-/// on the command line: `--entries N` scales the campus workload and
-/// `--shards N` picks the sharded point on the curve (the 1-shard serial
-/// reference always runs too, for the stream-identity check).
+/// Knobs settable anywhere on the command line: `--entries N` scales
+/// `enginebench`'s campus workload, `--shards N` picks the sharded point
+/// on its curve (the 1-shard serial reference always runs too, for the
+/// stream-identity check), and `--seeds N` sizes the `sim` sweep.
 #[derive(Clone, Copy)]
 struct BenchOpts {
     entries: usize,
     shards: usize,
+    seeds: u64,
 }
 
 impl Default for BenchOpts {
@@ -24,6 +25,7 @@ impl Default for BenchOpts {
         BenchOpts {
             entries: 1_000_000,
             shards: 4,
+            seeds: 200,
         }
     }
 }
@@ -51,6 +53,10 @@ fn main() {
             }
             "--shards" => {
                 opts.shards = parse_flag("--shards", raw.get(i + 1));
+                i += 2;
+            }
+            "--seeds" => {
+                opts.seeds = parse_flag("--seeds", raw.get(i + 1)) as u64;
                 i += 2;
             }
             _ => {
@@ -88,11 +94,61 @@ fn main() {
                 }
                 i += 2;
             }
+            "sim" => {
+                run_sim(opts);
+                i += 1;
+            }
             what => {
                 dispatch(what, opts);
                 i += 1;
             }
         }
+    }
+}
+
+fn run_sim(opts: BenchOpts) {
+    banner(&format!(
+        "Simulation: fault-injection sweep over {} seeded scenarios",
+        opts.seeds
+    ));
+    let corpus = std::path::Path::new("tests").join("corpus");
+    let mut checked = 0u64;
+    let summary = dp_sim::run_seeds(0, opts.seeds, Some(&corpus), |seed, report| {
+        checked += 1;
+        if !report.passed() {
+            println!(
+                "  seed {seed}: {} invariant violation(s), shrinking...",
+                report.violations.len()
+            );
+        } else if checked.is_multiple_of(50) {
+            println!("  {checked} seeds checked...");
+        }
+    });
+    println!(
+        "  {} seeds: {} divergent, {} diagnosed, {} aligned by DiffProv",
+        summary.seeds, summary.divergent, summary.diagnosed, summary.diagnosis_succeeded
+    );
+    let kinds: Vec<String> = summary
+        .kind_counts
+        .iter()
+        .map(|(k, n)| format!("{k} x{n}"))
+        .collect();
+    println!("  injections applied: {}", kinds.join(", "));
+    for path in &summary.corpus_written {
+        println!("  wrote shrunk repro {}", path.display());
+    }
+    if summary.passed() {
+        println!("  all invariants held");
+    } else {
+        for (seed, v) in &summary.violations {
+            eprintln!("  seed {seed}: {v}");
+        }
+        eprintln!(
+            "  {} violation(s) across {} seeds",
+            summary.violations.len(),
+            summary.seeds
+        );
+        std::process::exit(1);
     }
 }
 
@@ -168,7 +224,8 @@ fn dispatch(what: &str, opts: BenchOpts) {
         eprintln!(
             "unknown experiment {what:?}; available: all table1 fig5 fig6 fig7 fig8 \
              unsuitable latency mrstorage complex ablation enginebench \
-             [--entries N] [--shards N] trace <scenario> stats <scenario>"
+             sim [--seeds N] [--entries N] [--shards N] \
+             trace <scenario> stats <scenario>"
         );
         std::process::exit(2);
     }

@@ -1838,13 +1838,23 @@ impl<S: ProvenanceSink> Engine<S> {
 
     fn run_inner(&mut self) -> Result<()> {
         while let Some(Reverse(ev)) = self.queue.pop() {
-            self.stats.events += 1;
-            if self.stats.events > self.max_events {
+            if self.stats.events >= self.max_events {
+                // Requeue before erroring: dropping the in-flight event
+                // would let a cascade whose queue holds exactly one event
+                // at a time (a cross-shard ping-pong, say) error into a
+                // state with an *empty* queue, which `snapshot()` would
+                // then certify as quiescent — silently losing the event
+                // from every replay resumed from the checkpoint. With the
+                // event back in the queue the failed engine stays honest:
+                // `snapshot()` rejects it, and a re-run under a raised
+                // budget resumes exactly where the budget tripped.
+                self.queue.push(Reverse(ev));
                 return Err(Error::Engine(format!(
                     "event limit {} exceeded (runaway program?)",
                     self.max_events
                 )));
             }
+            self.stats.events += 1;
             self.clock = self.clock.wrapping_add(1).max(ev.due);
             match ev.action {
                 Action::InsertBase(node, tuple) => self.do_insert_base(node, tuple)?,

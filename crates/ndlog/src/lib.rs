@@ -29,6 +29,8 @@ pub mod parser;
 pub mod plan;
 pub mod program;
 pub mod sink;
+#[cfg(feature = "testing")]
+pub mod testsupport;
 
 pub use ast::{AggFunc, AggSpec, Assign, BodyAtom, Constraint, HeadAtom, Pattern, Rule};
 pub use engine::{

@@ -12,187 +12,22 @@
 //! This is the safety net for the batching engine: any visibility leak
 //! (a join seeing a same-batch tuple it should not), reordered push, or
 //! mis-sequenced sink flush shows up as a stream divergence here.
-//! Programs are generated with the in-repo deterministic generator
-//! (offline build — no property-testing framework), so every case is
-//! reproducible from the seeds below.
+//! Programs come from the shared int-flavored generator in
+//! `dp_ndlog::testsupport` (offline build — no property-testing
+//! framework), so every case is reproducible from the seeds below.
 
 use std::sync::Arc;
 
-use dp_ndlog::{Engine, Program, ProvEvent, VecSink};
-use dp_types::{
-    tuple, DetRng, FieldType, NodeId, Schema, SchemaRegistry, Sym, TableKind, Tuple,
+use dp_ndlog::testsupport::{
+    intgen, run_schedule, strip_batch_counters, EngineConfig, ScheduledOp,
 };
+use dp_ndlog::{Engine, Program, ProvEvent, VecSink};
+use dp_types::{tuple, DetRng, FieldType, NodeId, Schema, SchemaRegistry, TableKind};
 
-const BASE_TABLES: [&str; 3] = ["a", "b", "c"];
-const VARS: [&str; 3] = ["X", "Y", "Z"];
-
-fn registry() -> SchemaRegistry {
-    let mut reg = SchemaRegistry::new();
-    for t in BASE_TABLES {
-        reg.declare(Schema::new(
-            t,
-            TableKind::MutableBase,
-            [("x", FieldType::Int), ("y", FieldType::Int)],
-        ));
-    }
-    reg.declare(Schema::new("d", TableKind::Derived, [("v", FieldType::Int)]));
-    reg.declare(Schema::new("e", TableKind::Derived, [("v", FieldType::Int)]));
-    reg
-}
-
-fn arb_pattern(rng: &mut DetRng, bound: &mut Vec<&'static str>) -> String {
-    match rng.gen_range_usize(0, 10) {
-        0..=6 => {
-            let v = VARS[rng.gen_range_usize(0, VARS.len())];
-            if !bound.contains(&v) {
-                bound.push(v);
-            }
-            v.to_string()
-        }
-        7 | 8 => rng.gen_range_i64(-2, 3).to_string(),
-        _ => "_".to_string(),
-    }
-}
-
-fn arb_rule(rng: &mut DetRng, name: &str, head_table: &str, allow_d: bool) -> String {
-    let n_atoms = rng.gen_range_usize(1, 4);
-    let mut bound: Vec<&'static str> = Vec::new();
-    let mut atoms: Vec<String> = Vec::new();
-    for i in 0..n_atoms {
-        if allow_d && i == 0 {
-            let v = VARS[rng.gen_range_usize(0, VARS.len())];
-            if !bound.contains(&v) {
-                bound.push(v);
-            }
-            atoms.push(format!("d(@N, {v})"));
-            continue;
-        }
-        let t = BASE_TABLES[rng.gen_range_usize(0, BASE_TABLES.len())];
-        let p1 = arb_pattern(rng, &mut bound);
-        let p2 = arb_pattern(rng, &mut bound);
-        atoms.push(format!("{t}(@N, {p1}, {p2})"));
-    }
-    if bound.is_empty() {
-        atoms[0] = "a(@N, X, _)".to_string();
-        bound.push("X");
-    }
-    let head_var = bound[rng.gen_range_usize(0, bound.len())];
-    let mut tail = String::new();
-    let head = if rng.gen_bool(0.3) {
-        tail.push_str(&format!(", W := {head_var} + 1"));
-        "W"
-    } else {
-        head_var
-    };
-    if bound.len() >= 2 && rng.gen_bool(0.3) {
-        tail.push_str(&format!(", {} <= {}", bound[0], bound[1]));
-    }
-    format!("{name} {head_table}(@N, {head}) :- {}{tail}.", atoms.join(", "))
-}
-
-fn arb_program(rng: &mut DetRng) -> Option<Arc<Program>> {
-    let mut text = String::new();
-    for i in 0..rng.gen_range_usize(1, 3) {
-        text.push_str(&arb_rule(rng, &format!("rd{i}"), "d", false));
-        text.push('\n');
-    }
-    if rng.gen_bool(0.7) {
-        text.push_str(&arb_rule(rng, "re", "e", true));
-        text.push('\n');
-    }
-    Program::builder(registry())
-        .rules_text(&text)
-        .ok()?
-        .build()
-        .ok()
-}
-
-type Op = (bool, usize, i64, i64, u64, bool);
-
-/// Random ops: (is_delete, base table, x, y, due, second node). Unlike the
-/// join differential, dues come from a *tiny* domain so most events share
-/// a timestamp with others (deep delta batches), deletes routinely land in
-/// the same timestamp as inserts, and some ops expand to a delete+insert
-/// *replacement* pair at one timestamp — the cases where batch flushing,
-/// flush-on-delete, and the `as_of` visibility horizon all matter.
-fn arb_ops(rng: &mut DetRng) -> Vec<Op> {
-    let mut ops = Vec::new();
-    for _ in 0..rng.gen_range_usize(1, 25) {
-        let t = rng.gen_range_usize(0, BASE_TABLES.len());
-        let due = rng.gen_range_u64(0, 8);
-        let second = rng.gen_bool(0.2);
-        let x = rng.gen_range_i64(-2, 3);
-        let y = rng.gen_range_i64(-2, 3);
-        if rng.gen_bool(0.15) {
-            // Replacement: delete one tuple and insert another, same tick.
-            ops.push((true, t, x, y, due, second));
-            ops.push((false, t, rng.gen_range_i64(-2, 3), y, due, second));
-        } else {
-            ops.push((rng.gen_bool(0.25), t, x, y, due, second));
-        }
-    }
-    ops
-}
-
-struct Outcome {
-    events: Vec<ProvEvent>,
-    firings: std::collections::BTreeMap<Sym, u64>,
-    stats: dp_ndlog::Stats,
-    fixpoint: Vec<(NodeId, Tuple, usize)>,
-}
-
-fn run(program: &Arc<Program>, ops: &[Op], unbatched: bool) -> Outcome {
-    let mut eng = Engine::new(Arc::clone(program), VecSink::default());
-    eng.set_unbatched(unbatched);
-    for &(is_delete, t, x, y, due, second) in ops {
-        let node = NodeId::new(if second { "m" } else { "n" });
-        let tup = tuple!(BASE_TABLES[t], x, y);
-        if is_delete {
-            eng.schedule_delete(due, node, tup).unwrap();
-        } else {
-            eng.schedule_insert(due, node, tup).unwrap();
-        }
-    }
-    eng.run().unwrap();
-    let firings = eng.rule_firings().clone();
-    let stats = eng.stats();
-    let fixpoint = eng
-        .nodes()
-        .flat_map(|(node, st)| {
-            st.all()
-                .map(|(t, s)| (node.clone(), t.clone(), s.support()))
-                .collect::<Vec<_>>()
-        })
-        .collect();
-    Outcome {
-        events: eng.into_sink().events,
-        firings,
-        stats,
-        fixpoint,
-    }
-}
-
-/// The batch counters and the join effort counters are the only
-/// legitimate differences between modes: the batched flush prunes whole
-/// delta groups whose join cannot complete (some partner table is empty),
-/// so it runs fewer probe/scan steps and examines fewer candidates — but
-/// a pruned join can never have produced a match, so `join_matches` and
-/// every semantic counter must still agree exactly.
-fn strip_batch_counters(stats: dp_ndlog::Stats) -> dp_ndlog::Stats {
-    dp_ndlog::Stats {
-        batches: 0,
-        batched_deltas: 0,
-        parallel_batches: 0,
-        // Sharded batches only form on the batched path, and per-shard
-        // interners fill differently between the disciplines (the
-        // unbatched path re-interns derived heads only into their owning
-        // shard), so these effort counters differ under `DP_SHARDS>1`.
-        sharded_batches: 0,
-        peak_interned: 0,
-        join_probes: 0,
-        join_scans: 0,
-        join_candidates: 0,
-        ..stats
+fn config(unbatched: bool) -> EngineConfig {
+    EngineConfig {
+        unbatched: Some(unbatched),
+        ..EngineConfig::inherit(if unbatched { "unbatched" } else { "batched" })
     }
 }
 
@@ -202,13 +37,13 @@ fn batched_and_unbatched_agree_on_random_programs() {
     let mut cases = 0usize;
     let mut total_batched_deltas = 0u64;
     while cases < 96 {
-        let Some(program) = arb_program(&mut rng) else {
+        let Some(program) = intgen::arb_program(&mut rng) else {
             continue; // Rejected by the builder (e.g. unbound head var).
         };
-        let ops = arb_ops(&mut rng);
+        let ops = intgen::schedule(&intgen::batch_ops(&mut rng));
         cases += 1;
-        let batched = run(&program, &ops, false);
-        let unbatched = run(&program, &ops, true);
+        let batched = run_schedule(&program, &ops, &config(false));
+        let unbatched = run_schedule(&program, &ops, &config(true));
         assert_eq!(
             batched.events, unbatched.events,
             "provenance streams diverge (case {cases})"
@@ -234,14 +69,16 @@ fn batched_and_unbatched_agree_on_random_programs() {
 /// Same-tick inserts form one batch; the reference path never batches.
 #[test]
 fn batched_mode_reports_batches() {
-    let program: Arc<Program> = Program::builder(registry())
+    let program: Arc<Program> = Program::builder(intgen::registry())
         .rules_text("rd0 d(@N, X) :- a(@N, X, _).")
         .unwrap()
         .build()
         .unwrap();
-    let ops: Vec<Op> = (0..8).map(|i| (false, 0, i, 0, 3, false)).collect();
-    let batched = run(&program, &ops, false);
-    let unbatched = run(&program, &ops, true);
+    let ops: Vec<ScheduledOp> = (0..8)
+        .map(|i| ScheduledOp::insert(3, "n", tuple!("a", i as i64, 0i64)))
+        .collect();
+    let batched = run_schedule(&program, &ops, &config(false));
+    let unbatched = run_schedule(&program, &ops, &config(true));
     assert!(batched.stats.batches > 0);
     assert!(batched.stats.batched_deltas >= 8);
     assert_eq!(unbatched.stats.batches, 0);

@@ -1041,3 +1041,171 @@ fn sharded_snapshot_round_trips_through_the_serial_snapshot() {
         assert!(resumed.lookup(&a, &tuple!("pong", 53)).is_some(), "{shards} shards");
     }
 }
+
+/// A cross-shard ping-pong cascade whose queue holds exactly one event at
+/// a time — the shape that used to let the event budget drop the
+/// in-flight event on the floor and leave a silently-truncated engine
+/// that `snapshot()` certified as quiescent.
+fn ping_pong_program() -> Arc<Program> {
+    let mut reg = SchemaRegistry::new();
+    reg.declare(Schema::new("seed", TableKind::ImmutableBase, [("v", FieldType::Int)]));
+    reg.declare(Schema::new("nbr", TableKind::MutableBase, [("next", FieldType::Str)]));
+    reg.declare(Schema::new("pong", TableKind::Derived, [("v", FieldType::Int)]));
+    Program::builder(reg)
+        .rules_text(
+            "init pong(@M, V) :- seed(@N, V), nbr(@N, M).\n\
+             fwd pong(@M, V1) :- pong(@N, V), nbr(@N, M), V1 := V + 1, V <= 400.",
+        )
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn budget_tripped_mid_cascade_rejects_snapshot_and_resumes_cleanly() {
+    // A node restart injected while the engine still holds in-flight
+    // cross-shard messages must not be able to checkpoint: the snapshot
+    // has to reject *deterministically* — same decision, same message —
+    // at every shard count, because the queue evolution is bit-identical.
+    // And the failed engine must still hold the complete frontier: a
+    // re-run under a raised budget has to drain to exactly the fixpoint
+    // of an engine that never tripped. (Regression: the budget check used
+    // to pop-then-drop the in-flight event, so a one-event-deep cascade
+    // erred into an *empty* queue and `snapshot()` certified the loss.)
+    let program = ping_pong_program();
+    let (a, b) = cross_shard_pair();
+    let schedule = |eng: &mut Engine<VecSink>| {
+        eng.schedule_insert(0, a.clone(), tuple!("nbr", b.as_str())).unwrap();
+        eng.schedule_insert(0, b.clone(), tuple!("nbr", a.as_str())).unwrap();
+        for v in 0..4i64 {
+            eng.schedule_insert(5, a.clone(), tuple!("seed", v * 1000)).unwrap();
+        }
+    };
+    let fixpoint = |eng: &Engine<VecSink>| -> Vec<(NodeId, Tuple, usize)> {
+        eng.nodes()
+            .flat_map(|(node, st)| {
+                st.all()
+                    .map(|(t, s)| (node.clone(), t.clone(), s.support()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+    let mut reject_msgs: Vec<String> = Vec::new();
+    let mut fixpoints = Vec::new();
+    for shards in [1usize, 2, 4] {
+        // Uninterrupted reference at this shard count.
+        let mut reference = Engine::new(program.clone(), VecSink::default());
+        reference.set_unbatched(false);
+        reference.set_shards(shards);
+        schedule(&mut reference);
+        reference.run().unwrap();
+
+        let mut eng = Engine::new(program.clone(), VecSink::default());
+        eng.set_unbatched(false);
+        eng.set_shards(shards);
+        eng.max_events = 60;
+        schedule(&mut eng);
+        let err = eng.run().expect_err("the budget must trip mid-cascade");
+        assert!(err.to_string().contains("event limit"), "{err}");
+        let reject = eng
+            .snapshot()
+            .expect_err("a mid-cascade engine must refuse to checkpoint");
+        assert!(reject.to_string().contains("quiescent"), "{reject}");
+        reject_msgs.push(reject.to_string());
+
+        // The frontier survived the error: resuming drains to the
+        // uninterrupted fixpoint, with the identical event total.
+        eng.max_events = 50_000_000;
+        eng.run().unwrap();
+        assert_eq!(
+            fixpoint(&reference),
+            fixpoint(&eng),
+            "resumed run diverges from uninterrupted at {shards} shards"
+        );
+        assert_eq!(
+            reference.stats().events,
+            eng.stats().events,
+            "resume lost or duplicated events at {shards} shards"
+        );
+        fixpoints.push(fixpoint(&eng));
+    }
+    // Deterministic reject: the same queue depth tripped at the same
+    // point everywhere, so even the counts in the message agree.
+    assert!(
+        reject_msgs.windows(2).all(|w| w[0] == w[1]),
+        "snapshot reject differs across shard counts: {reject_msgs:?}"
+    );
+    assert!(fixpoints.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn mid_schedule_restart_replays_the_stream_suffix() {
+    // The drain half of restart determinism: a restart taken at
+    // quiescence between due-groups — after cross-shard traffic has
+    // flowed — must be *stream-transparent*, not merely fixpoint-
+    // equivalent. The snapshot preserves the logical clock and sequence
+    // counter, so the provenance emitted after the restore must be
+    // byte-identical to the suffix an uninterrupted engine emits, at
+    // every restore shard count. This is the invariant dp-sim's
+    // NodeRestart injection leans on.
+    let program = ping_pong_program();
+    let (a, b) = cross_shard_pair();
+    let phase1 = |eng: &mut Engine<VecSink>| {
+        eng.schedule_insert(0, a.clone(), tuple!("nbr", b.as_str())).unwrap();
+        eng.schedule_insert(0, b.clone(), tuple!("nbr", a.as_str())).unwrap();
+        eng.schedule_insert(5, a.clone(), tuple!("seed", 395i64)).unwrap();
+    };
+    let phase2 = |eng: &mut Engine<VecSink>| {
+        eng.schedule_insert(2000, b.clone(), tuple!("seed", 398i64)).unwrap();
+    };
+    let fixpoint = |eng: &Engine<VecSink>| -> Vec<(NodeId, Tuple, usize)> {
+        eng.nodes()
+            .flat_map(|(node, st)| {
+                st.all()
+                    .map(|(t, s)| (node.clone(), t.clone(), s.support()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+
+    // Uninterrupted serial reference, two run() calls at the same due
+    // boundary the restart uses.
+    let mut reference = Engine::new(program.clone(), VecSink::default());
+    reference.set_unbatched(false);
+    phase1(&mut reference);
+    reference.run().unwrap();
+    let prefix_len = reference.sink().events.len();
+    phase2(&mut reference);
+    reference.run().unwrap();
+    let want_fix = fixpoint(&reference);
+    let all_events = reference.into_sink().events;
+    let (want_prefix, want_suffix) = all_events.split_at(prefix_len);
+    assert!(!want_suffix.is_empty(), "phase 2 produced no provenance");
+
+    // Restart: sharded phase-1 run, checkpoint, restore at every count.
+    let mut first = Engine::new(program.clone(), VecSink::default());
+    first.set_unbatched(false);
+    first.set_shards(4);
+    phase1(&mut first);
+    first.run().unwrap();
+    let snap = first.snapshot().unwrap();
+    assert_eq!(want_prefix, &first.into_sink().events[..], "phase-1 streams diverge");
+    for shards in [1usize, 2, 4] {
+        let mut resumed =
+            Engine::restore(program.clone(), snap.clone(), VecSink::default()).unwrap();
+        resumed.set_unbatched(false);
+        resumed.set_shards(shards);
+        phase2(&mut resumed);
+        resumed.run().unwrap();
+        assert_eq!(
+            want_fix,
+            fixpoint(&resumed),
+            "restored fixpoint diverges at {shards} shards"
+        );
+        assert_eq!(
+            want_suffix,
+            &resumed.into_sink().events[..],
+            "post-restart stream diverges at {shards} shards"
+        );
+    }
+}

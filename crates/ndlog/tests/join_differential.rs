@@ -8,175 +8,20 @@
 //!
 //! This is the safety net for the index planner: any ordering leak, missed
 //! candidate, or stale index entry shows up as a stream divergence here.
-//! Programs are generated with the in-repo deterministic generator
-//! (offline build — no property-testing framework), so every case is
-//! reproducible from the seeds below.
+//! Programs come from the shared int-flavored generator in
+//! `dp_ndlog::testsupport` (offline build — no property-testing
+//! framework), so every case is reproducible from the seeds below.
 
 use std::sync::Arc;
 
+use dp_ndlog::testsupport::{intgen, run_schedule, EngineConfig};
 use dp_ndlog::{Engine, Program, VecSink};
-use dp_types::{
-    tuple, DetRng, FieldType, NodeId, Schema, SchemaRegistry, Sym, TableKind, Tuple,
-};
+use dp_types::{tuple, DetRng, FieldType, NodeId, Schema, SchemaRegistry, TableKind};
 
-const BASE_TABLES: [&str; 3] = ["a", "b", "c"];
-const VARS: [&str; 3] = ["X", "Y", "Z"];
-
-fn registry() -> SchemaRegistry {
-    let mut reg = SchemaRegistry::new();
-    for t in BASE_TABLES {
-        reg.declare(Schema::new(
-            t,
-            TableKind::MutableBase,
-            [("x", FieldType::Int), ("y", FieldType::Int)],
-        ));
-    }
-    reg.declare(Schema::new("d", TableKind::Derived, [("v", FieldType::Int)]));
-    reg.declare(Schema::new("e", TableKind::Derived, [("v", FieldType::Int)]));
-    reg
-}
-
-/// One random argument pattern: mostly variables from a tiny pool (so
-/// cross-atom sharing — i.e. real join keys — is common), sometimes a
-/// small constant, sometimes a wildcard.
-fn arb_pattern(rng: &mut DetRng, bound: &mut Vec<&'static str>) -> String {
-    match rng.gen_range_usize(0, 10) {
-        0..=6 => {
-            let v = VARS[rng.gen_range_usize(0, VARS.len())];
-            if !bound.contains(&v) {
-                bound.push(v);
-            }
-            v.to_string()
-        }
-        7 | 8 => rng.gen_range_i64(-2, 3).to_string(),
-        _ => "_".to_string(),
-    }
-}
-
-/// A random rule body over the base tables (plus, optionally, `d` when
-/// generating the `e` rule — a derived-on-derived join). Returns the rule
-/// text and leaves the bound-variable set in `bound`.
-fn arb_rule(
-    rng: &mut DetRng,
-    name: &str,
-    head_table: &str,
-    allow_d: bool,
-) -> String {
-    let n_atoms = rng.gen_range_usize(1, 4);
-    let mut bound: Vec<&'static str> = Vec::new();
-    let mut atoms: Vec<String> = Vec::new();
-    for i in 0..n_atoms {
-        if allow_d && i == 0 {
-            // The derived-table atom joins on a shared variable.
-            let v = VARS[rng.gen_range_usize(0, VARS.len())];
-            if !bound.contains(&v) {
-                bound.push(v);
-            }
-            atoms.push(format!("d(@N, {v})"));
-            continue;
-        }
-        let t = BASE_TABLES[rng.gen_range_usize(0, BASE_TABLES.len())];
-        let p1 = arb_pattern(rng, &mut bound);
-        let p2 = arb_pattern(rng, &mut bound);
-        atoms.push(format!("{t}(@N, {p1}, {p2})"));
-    }
-    if bound.is_empty() {
-        // Degenerate all-constant/wildcard body: force one variable so the
-        // head has something to project.
-        atoms[0] = "a(@N, X, _)".to_string();
-        bound.push("X");
-    }
-    let head_var = bound[rng.gen_range_usize(0, bound.len())];
-    let mut tail = String::new();
-    // Sometimes route the head through an assignment, and sometimes add a
-    // comparison constraint between two bound variables — both evaluate
-    // during the join, so they must behave identically on both paths.
-    let head = if rng.gen_bool(0.3) {
-        tail.push_str(&format!(", W := {head_var} + 1"));
-        "W"
-    } else {
-        head_var
-    };
-    if bound.len() >= 2 && rng.gen_bool(0.3) {
-        tail.push_str(&format!(", {} <= {}", bound[0], bound[1]));
-    }
-    format!("{name} {head_table}(@N, {head}) :- {}{tail}.", atoms.join(", "))
-}
-
-/// A random program: one or two rules deriving `d`, and (usually) a rule
-/// deriving `e` from `d` — so index maintenance on derived tables is
-/// exercised too.
-fn arb_program(rng: &mut DetRng) -> Option<Arc<Program>> {
-    let mut text = String::new();
-    for i in 0..rng.gen_range_usize(1, 3) {
-        text.push_str(&arb_rule(rng, &format!("rd{i}"), "d", false));
-        text.push('\n');
-    }
-    if rng.gen_bool(0.7) {
-        text.push_str(&arb_rule(rng, "re", "e", true));
-        text.push('\n');
-    }
-    Program::builder(registry())
-        .rules_text(&text)
-        .ok()?
-        .build()
-        .ok()}
-
-type Op = (bool, usize, i64, i64, u64, bool);
-
-/// Random ops: (is_delete, base table, x, y, due, second node). Values are
-/// drawn from a tiny domain so joins actually match, and deletes often hit
-/// previously inserted tuples.
-fn arb_ops(rng: &mut DetRng) -> Vec<Op> {
-    (0..rng.gen_range_usize(1, 25))
-        .map(|_| {
-            (
-                rng.gen_bool(0.25),
-                rng.gen_range_usize(0, BASE_TABLES.len()),
-                rng.gen_range_i64(-2, 3),
-                rng.gen_range_i64(-2, 3),
-                rng.gen_range_u64(0, 50),
-                rng.gen_bool(0.2),
-            )
-        })
-        .collect()
-}
-
-struct Outcome {
-    events: Vec<dp_ndlog::ProvEvent>,
-    firings: std::collections::BTreeMap<Sym, u64>,
-    derivations: u64,
-    fixpoint: Vec<(NodeId, Tuple, usize)>,
-}
-
-fn run(program: &Arc<Program>, ops: &[Op], naive: bool) -> Outcome {
-    let mut eng = Engine::new(Arc::clone(program), VecSink::default());
-    eng.set_naive_join(naive);
-    for &(is_delete, t, x, y, due, second) in ops {
-        let node = NodeId::new(if second { "m" } else { "n" });
-        let tup = tuple!(BASE_TABLES[t], x, y);
-        if is_delete {
-            eng.schedule_delete(due, node, tup).unwrap();
-        } else {
-            eng.schedule_insert(due, node, tup).unwrap();
-        }
-    }
-    eng.run().unwrap();
-    let firings = eng.rule_firings().clone();
-    let derivations = eng.stats().derivations;
-    let fixpoint = eng
-        .nodes()
-        .flat_map(|(node, st)| {
-            st.all()
-                .map(|(t, s)| (node.clone(), t.clone(), s.support()))
-                .collect::<Vec<_>>()
-        })
-        .collect();
-    Outcome {
-        events: eng.into_sink().events,
-        firings,
-        derivations,
-        fixpoint,
+fn config(naive: bool) -> EngineConfig {
+    EngineConfig {
+        naive_join: Some(naive),
+        ..EngineConfig::inherit(if naive { "naive" } else { "indexed" })
     }
 }
 
@@ -185,19 +30,22 @@ fn indexed_and_naive_joins_agree_on_random_programs() {
     let mut rng = DetRng::seed_from_u64(0xD1FF_C0DE);
     let mut cases = 0usize;
     while cases < 96 {
-        let Some(program) = arb_program(&mut rng) else {
+        let Some(program) = intgen::arb_program(&mut rng) else {
             continue; // Rejected by the builder (e.g. unbound head var).
         };
-        let ops = arb_ops(&mut rng);
+        let ops = intgen::schedule(&intgen::join_ops(&mut rng));
         cases += 1;
-        let indexed = run(&program, &ops, false);
-        let naive = run(&program, &ops, true);
+        let indexed = run_schedule(&program, &ops, &config(false));
+        let naive = run_schedule(&program, &ops, &config(true));
         assert_eq!(
             indexed.events, naive.events,
             "provenance streams diverge (case {cases})"
         );
         assert_eq!(indexed.firings, naive.firings, "case {cases}");
-        assert_eq!(indexed.derivations, naive.derivations, "case {cases}");
+        assert_eq!(
+            indexed.stats.derivations, naive.stats.derivations,
+            "case {cases}"
+        );
         assert_eq!(indexed.fixpoint, naive.fixpoint, "case {cases}");
     }
 }

@@ -15,202 +15,27 @@
 //! merged out of delta order, a firing that observed another delta's
 //! effect (state is supposed to be frozen during the firing phase), or a
 //! provenance event emitted from a worker thread would all show up as a
-//! stream divergence here. Programs are generated with the in-repo
-//! deterministic generator (offline build — no property-testing
-//! framework), so every case is reproducible from the seeds below.
+//! stream divergence here. Programs come from the shared prefix-flavored
+//! generator in `dp_ndlog::testsupport` (offline build — no
+//! property-testing framework), so every case is reproducible from the
+//! seeds below.
 
 use std::sync::Arc;
 
-use dp_ndlog::{Engine, Program, ProvEvent, VecSink};
-use dp_types::{
-    prefix::ip, tuple, DetRng, FieldType, NodeId, Prefix, Schema, SchemaRegistry, Sym, TableKind,
-    Tuple, Value,
+use dp_ndlog::testsupport::{
+    prefixgen, run_schedule, strip_parallel_counter, EngineConfig,
 };
+use dp_ndlog::{Engine, ProvEvent, VecSink};
+use dp_types::DetRng;
 
-fn registry() -> SchemaRegistry {
-    let mut reg = SchemaRegistry::new();
-    for t in ["rt", "rt2"] {
-        reg.declare(Schema::new(
-            t,
-            TableKind::MutableBase,
-            [("m", FieldType::Prefix), ("v", FieldType::Int)],
-        ));
-    }
-    reg.declare(Schema::new(
-        "pk",
-        TableKind::MutableBase,
-        [("s", FieldType::Ip), ("d", FieldType::Ip)],
-    ));
-    reg.declare(Schema::new("out", TableKind::Derived, [("v", FieldType::Int)]));
-    reg.declare(Schema::new(
-        "out2",
-        TableKind::Derived,
-        [("a", FieldType::Int), ("b", FieldType::Int)],
-    ));
-    reg.declare(Schema::new(
-        "outc",
-        TableKind::Derived,
-        [("c", FieldType::Int)],
-    ));
-    reg
-}
-
-/// Random address drawn from a 16-address pool, so packets routinely hit
-/// (and routinely miss) the generated route entries.
-fn arb_addr_str(rng: &mut DetRng) -> String {
-    format!(
-        "10.0.{}.{}",
-        rng.gen_range_u64(0, 4),
-        rng.gen_range_u64(0, 4)
-    )
-}
-
-fn arb_addr(rng: &mut DetRng) -> u32 {
-    ip(&arb_addr_str(rng))
-}
-
-/// Random route prefix over the same pool (see `trie_differential.rs` for
-/// why the lengths cluster at byte boundaries).
-fn arb_route_prefix(rng: &mut DetRng) -> Prefix {
-    let len = match rng.gen_range_usize(0, 8) {
-        0 => 0,
-        1 => 8,
-        2 | 3 => 24,
-        4 | 5 => 32,
-        _ => rng.gen_range_usize(0, 33) as u8,
-    };
-    Prefix::new(arb_addr(rng), len).unwrap()
-}
-
-/// One random rule. The shapes cover every evaluation path a worker can
-/// take during the firing phase: trie probes (0, 1), constant probes (2),
-/// multi-atom joins with two tries (3), an equality join where the hash
-/// index wins (4), and a fence-triggered aggregation (5) — aggregations
-/// re-read whole tables under the delta's horizon, the easiest place for
-/// a frozen-state violation to hide.
-fn arb_rule(rng: &mut DetRng, i: usize) -> String {
-    let pv = if rng.gen_bool(0.5) { "S" } else { "D" };
-    let filter = if rng.gen_bool(0.25) { ", V <= 1" } else { "" };
-    match rng.gen_range_usize(0, 6) {
-        0 => format!(
-            "r{i} out(@N, V) :- pk(@N, S, D), rt(@N, M, V), prefix_contains(M, {pv}){filter}."
-        ),
-        1 => format!(
-            "r{i} out(@N, V) :- rt(@N, M, V), pk(@N, S, D), prefix_contains(M, {pv}){filter}."
-        ),
-        2 => format!(
-            "r{i} out(@N, V) :- rt(@N, M, V), prefix_contains(M, {}){filter}.",
-            arb_addr_str(rng)
-        ),
-        3 => format!(
-            "r{i} out2(@N, V, W) :- pk(@N, S, D), rt(@N, M, V), rt2(@N, M2, W), \
-             prefix_contains(M, S), prefix_contains(M2, D)."
-        ),
-        4 => format!(
-            "r{i} out2(@N, V, V) :- pk(@N, S, D), rt(@N, M, V), rt2(@N, M2, V), \
-             prefix_contains(M, {pv}), prefix_contains(M2, D)."
-        ),
-        _ => format!("r{i} outc(@N, agg_count(V)) :- pk(@N, S, D), rt(@N, M, V)."),
-    }
-}
-
-fn arb_program(rng: &mut DetRng) -> Option<Arc<Program>> {
-    let mut text = String::new();
-    for i in 0..rng.gen_range_usize(1, 4) {
-        text.push_str(&arb_rule(rng, i));
-        text.push('\n');
-    }
-    Program::builder(registry())
-        .rules_text(&text)
-        .ok()?
-        .build()
-        .ok()
-}
-
-type Op = (bool, u64, Tuple);
-
-/// Random ops: route-entry and packet churn over a tiny due domain and
-/// *two* nodes, so batches go deep (deep enough to clear the parallel
-/// threshold), mix (node, table) group runs, and land deletes in the same
-/// tick as inserts — the cases where the chunked walk could diverge from
-/// the serial one if state were not frozen.
-fn arb_ops(rng: &mut DetRng) -> Vec<Op> {
-    let mut ops = Vec::new();
-    for _ in 0..rng.gen_range_usize(8, 40) {
-        let due = rng.gen_range_u64(0, 4);
-        let route = |rng: &mut DetRng| {
-            let t = if rng.gen_bool(0.7) { "rt" } else { "rt2" };
-            tuple!(t, arb_route_prefix(rng), rng.gen_range_i64(0, 3))
-        };
-        if rng.gen_bool(0.4) {
-            ops.push((
-                rng.gen_bool(0.2),
-                due,
-                tuple!("pk", Value::Ip(arb_addr(rng)), Value::Ip(arb_addr(rng))),
-            ));
-        } else if rng.gen_bool(0.2) {
-            // Replacement: swap one route entry for another, same tick.
-            let old = route(rng);
-            let new = route(rng);
-            ops.push((true, due, old));
-            ops.push((false, due, new));
-        } else {
-            ops.push((rng.gen_bool(0.25), due, route(rng)));
-        }
-    }
-    ops
-}
-
-struct Outcome {
-    events: Vec<ProvEvent>,
-    firings: std::collections::BTreeMap<Sym, u64>,
-    stats: dp_ndlog::Stats,
-    fixpoint: Vec<(NodeId, Tuple, usize)>,
-}
-
-fn run(program: &Arc<Program>, ops: &[Op], threads: usize) -> Outcome {
-    let mut eng = Engine::new(Arc::clone(program), VecSink::default());
-    // Pin the batched discipline: the worker pool only serves batch
-    // flushes, so a DP_UNBATCHED=1 run of the suite would never engage it.
-    eng.set_unbatched(false);
-    eng.set_threads(threads);
-    for (i, (is_delete, due, tup)) in ops.iter().enumerate() {
-        // Alternate nodes so group runs inside a batch actually break.
-        let node = NodeId::new(if i % 3 == 0 { "n2" } else { "n" });
-        if *is_delete {
-            eng.schedule_delete(*due, node, tup.clone()).unwrap();
-        } else {
-            eng.schedule_insert(*due, node, tup.clone()).unwrap();
-        }
-    }
-    eng.run().unwrap();
-    let firings = eng.rule_firings().clone();
-    let stats = eng.stats();
-    let fixpoint = eng
-        .nodes()
-        .flat_map(|(node, st)| {
-            st.all()
-                .map(|(t, s)| (node.clone(), t.clone(), s.support()))
-                .collect::<Vec<_>>()
-        })
-        .collect();
-    Outcome {
-        events: eng.into_sink().events,
-        firings,
-        stats,
-        fixpoint,
-    }
-}
-
-/// `parallel_batches` is the *only* counter allowed to differ between
-/// thread counts: it records which flush path ran, nothing about what the
-/// rules did. Chunking a batch changes neither the joins that run nor
-/// what they examine (state is frozen, chunks are per-delta), so unlike
-/// the batching/trie suites even the join *effort* counters must agree.
-fn strip_parallel_counter(stats: dp_ndlog::Stats) -> dp_ndlog::Stats {
-    dp_ndlog::Stats {
-        parallel_batches: 0,
-        ..stats
+fn config(threads: usize) -> EngineConfig {
+    EngineConfig {
+        // Pin the batched discipline: the worker pool only serves batch
+        // flushes, so a DP_UNBATCHED=1 run of the suite would never
+        // engage it.
+        unbatched: Some(false),
+        threads: Some(threads),
+        ..EngineConfig::inherit("parallel")
     }
 }
 
@@ -220,18 +45,18 @@ fn parallel_and_serial_agree_on_random_programs() {
     let mut cases = 0usize;
     let mut total_parallel_batches = 0u64;
     while cases < 96 {
-        let Some(program) = arb_program(&mut rng) else {
+        let Some(program) = prefixgen::arb_program(&mut rng, true) else {
             continue; // Rejected by the builder (e.g. unbound head var).
         };
-        let ops = arb_ops(&mut rng);
+        let ops = prefixgen::alternating_schedule(&prefixgen::arb_ops(&mut rng, 8, 40, 4));
         cases += 1;
-        let serial = run(&program, &ops, 1);
+        let serial = run_schedule(&program, &ops, &config(1));
         assert_eq!(
             serial.stats.parallel_batches, 0,
             "one thread must take the serial path (case {cases})"
         );
         for threads in [2, 4] {
-            let par = run(&program, &ops, threads);
+            let par = run_schedule(&program, &ops, &config(threads));
             assert_eq!(
                 serial.events, par.events,
                 "provenance streams diverge at {threads} threads (case {cases})"

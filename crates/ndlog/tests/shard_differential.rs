@@ -15,217 +15,21 @@
 //! This is the safety net for the sharded engine: a mis-merged buffer,
 //! a message landed out of arrival order, a head interned into the
 //! wrong shard's store, or a shard observing another shard's same-batch
-//! delta all show up as a divergence here. Programs come from the
-//! in-repo deterministic generator (offline build — no property-testing
-//! framework), so every case is reproducible from the seeds below.
+//! delta all show up as a divergence here. Programs come from the shared
+//! shard-flavored generator in `dp_ndlog::testsupport` (offline build —
+//! no property-testing framework), so every case is reproducible from
+//! the seeds below.
 
 use std::sync::Arc;
 
-use dp_ndlog::{Engine, Program, ProvEvent, VecSink};
-use dp_trace::Tracer;
-use dp_types::{
-    tuple, DetRng, FieldType, NodeId, Schema, SchemaRegistry, Sym, TableKind, Tuple,
+use dp_ndlog::testsupport::{
+    run_schedule_traced, shardgen, strip_shard_counters, EngineConfig,
 };
+use dp_ndlog::{Engine, ProvEvent, VecSink};
+use dp_trace::Tracer;
+use dp_types::DetRng;
 
-/// Six nodes so that 2 and 4 shards both split the roster non-trivially
-/// under the stable FNV-1a assignment.
-const NODES: [&str; 6] = ["n0", "n1", "n2", "n3", "n4", "n5"];
 const SHARD_COUNTS: [usize; 2] = [2, 4];
-const VARS: [&str; 2] = ["X", "Y"];
-
-fn registry() -> SchemaRegistry {
-    let mut reg = SchemaRegistry::new();
-    reg.declare(Schema::new(
-        "ln",
-        TableKind::MutableBase,
-        [("x", FieldType::Int), ("y", FieldType::Int)],
-    ));
-    reg.declare(Schema::new(
-        "nbr",
-        TableKind::MutableBase,
-        [("next", FieldType::Str)],
-    ));
-    reg.declare(Schema::new(
-        "fence",
-        TableKind::MutableBase,
-        [("g", FieldType::Int)],
-    ));
-    reg.declare(Schema::new("d", TableKind::Derived, [("v", FieldType::Int)]));
-    reg.declare(Schema::new("msg", TableKind::Derived, [("v", FieldType::Int)]));
-    reg.declare(Schema::new("hop", TableKind::Derived, [("v", FieldType::Int)]));
-    reg.declare(Schema::new("tot", TableKind::Derived, [("c", FieldType::Int)]));
-    reg
-}
-
-fn arb_pattern(rng: &mut DetRng, bound: &mut Vec<&'static str>) -> String {
-    match rng.gen_range_usize(0, 10) {
-        0..=6 => {
-            let v = VARS[rng.gen_range_usize(0, VARS.len())];
-            if !bound.contains(&v) {
-                bound.push(v);
-            }
-            v.to_string()
-        }
-        7 | 8 => rng.gen_range_i64(-2, 3).to_string(),
-        _ => "_".to_string(),
-    }
-}
-
-/// Local rule shapes: single-atom projections, self-joins, arithmetic
-/// heads, and aggregation fences. Cross-node traffic is added separately
-/// so every generated program exercises the shard boundary.
-fn arb_rule(rng: &mut DetRng, i: usize) -> String {
-    match rng.gen_range_usize(0, 5) {
-        0 | 1 => {
-            let mut bound = Vec::new();
-            let p1 = arb_pattern(rng, &mut bound);
-            let p2 = arb_pattern(rng, &mut bound);
-            if bound.is_empty() {
-                return format!("r{i} d(@N, X) :- ln(@N, X, _).");
-            }
-            let head = bound[rng.gen_range_usize(0, bound.len())];
-            format!("r{i} d(@N, {head}) :- ln(@N, {p1}, {p2}).")
-        }
-        2 => format!("r{i} d(@N, X) :- ln(@N, X, Y), ln(@N, Y, _)."),
-        3 => format!("r{i} d(@N, W) :- ln(@N, X, Y), W := X + Y."),
-        _ => {
-            let agg = ["agg_sum", "agg_count", "agg_max"][rng.gen_range_usize(0, 3)];
-            format!("r{i} tot(@N, {agg}(X)) :- fence(@N, G), ln(@N, X, Y).")
-        }
-    }
-}
-
-fn arb_program(rng: &mut DetRng) -> Option<Arc<Program>> {
-    let mut text = String::new();
-    for i in 0..rng.gen_range_usize(1, 3) {
-        text.push_str(&arb_rule(rng, i));
-        text.push('\n');
-    }
-    // Every case forwards across the node space — the only traffic that
-    // crosses shard boundaries — and half the cases chain a second hop,
-    // so a message received from another shard re-fires and emits again
-    // within the same batch cascade.
-    text.push_str("fwd msg(@M, X) :- ln(@N, X, _), nbr(@N, M).\n");
-    if rng.gen_bool(0.5) {
-        text.push_str("hp hop(@M, V) :- msg(@N, V), nbr(@N, M).\n");
-    }
-    Program::builder(registry())
-        .rules_text(&text)
-        .ok()?
-        .build()
-        .ok()
-}
-
-/// (is_delete, node index, x, y, due).
-type Op = (bool, usize, i64, i64, u64);
-
-/// Random `ln` churn over the roster. Dues come from a tiny domain so
-/// most events share a timestamp (deep batches spanning several shards),
-/// and deletes land in the same tick as inserts.
-fn arb_ops(rng: &mut DetRng) -> Vec<Op> {
-    let mut ops = Vec::new();
-    for _ in 0..rng.gen_range_usize(4, 30) {
-        let n = rng.gen_range_usize(0, NODES.len());
-        let due = rng.gen_range_u64(1, 7);
-        let x = rng.gen_range_i64(-2, 3);
-        let y = rng.gen_range_i64(-2, 3);
-        if rng.gen_bool(0.15) {
-            // Replacement: delete one tuple and insert another, same tick.
-            ops.push((true, n, x, y, due));
-            ops.push((false, n, rng.gen_range_i64(-2, 3), y, due));
-        } else {
-            ops.push((rng.gen_bool(0.25), n, x, y, due));
-        }
-    }
-    ops
-}
-
-struct Outcome {
-    skeleton: String,
-    events: Vec<ProvEvent>,
-    firings: std::collections::BTreeMap<Sym, u64>,
-    stats: dp_ndlog::Stats,
-    fixpoint: Vec<(NodeId, Tuple, usize)>,
-}
-
-fn run(program: &Arc<Program>, rng_topo: &mut DetRng, ops: &[Op], shards: usize) -> Outcome {
-    let mut eng = Engine::new(Arc::clone(program), VecSink::default());
-    // Threads pinned to 1 so sharding is the only variable; the
-    // shard×thread composition is covered by check.sh's combined leg.
-    // The discipline is pinned to batched because sharding lives in the
-    // batched flush — under a DP_UNBATCHED=1 leg the vacuity guards
-    // (sharded batches, cross-shard crossings) would otherwise starve.
-    eng.set_unbatched(false);
-    eng.set_threads(1);
-    eng.set_shards(shards);
-    let tracer = Tracer::full();
-    eng.set_tracer(tracer.clone());
-    // Topology at tick 0: every node exists (one seed fact) and points at
-    // 1–2 random neighbours, so `@M` heads always name declared nodes and
-    // most forwards cross a shard boundary. The topology RNG is cloned by
-    // the caller so all shard counts see the identical schedule.
-    for (i, name) in NODES.iter().enumerate() {
-        let node = NodeId::new(*name);
-        eng.schedule_insert(0, node.clone(), tuple!("ln", i as i64, 0i64))
-            .unwrap();
-        for _ in 0..rng_topo.gen_range_usize(1, 3) {
-            let next = NODES[rng_topo.gen_range_usize(0, NODES.len())];
-            eng.schedule_insert(0, node.clone(), tuple!("nbr", next))
-                .unwrap();
-        }
-        if rng_topo.gen_bool(0.5) {
-            eng.schedule_insert(
-                rng_topo.gen_range_u64(3, 7),
-                node.clone(),
-                tuple!("fence", 1i64),
-            )
-            .unwrap();
-        }
-    }
-    for &(is_delete, n, x, y, due) in ops {
-        let node = NodeId::new(NODES[n]);
-        let tup = tuple!("ln", x, y);
-        if is_delete {
-            eng.schedule_delete(due, node, tup).unwrap();
-        } else {
-            eng.schedule_insert(due, node, tup).unwrap();
-        }
-    }
-    eng.run().unwrap();
-    let firings = eng.rule_firings().clone();
-    let stats = eng.stats();
-    let fixpoint = eng
-        .nodes()
-        .flat_map(|(node, st)| {
-            st.all()
-                .map(|(t, s)| (node.clone(), t.clone(), s.support()))
-                .collect::<Vec<_>>()
-        })
-        .collect();
-    Outcome {
-        skeleton: tracer.finish().skeleton(),
-        events: eng.into_sink().events,
-        firings,
-        stats,
-        fixpoint,
-    }
-}
-
-/// The shard effort counters are the only legitimate difference between
-/// shard counts: `sharded_batches` only ticks when the shard pool is
-/// dispatched, `cross_shard_msgs` counts boundary crossings that a
-/// single universe never has, and `peak_interned` sums per-shard
-/// interners that fill differently once derived heads are re-interned at
-/// their destination. Everything semantic — including the join effort
-/// profile, since firing is node-local either way — must agree exactly.
-fn strip_shard_counters(stats: dp_ndlog::Stats) -> dp_ndlog::Stats {
-    dp_ndlog::Stats {
-        sharded_batches: 0,
-        cross_shard_msgs: 0,
-        peak_interned: 0,
-        ..stats
-    }
-}
 
 #[test]
 fn sharded_and_serial_agree_on_random_programs() {
@@ -233,18 +37,24 @@ fn sharded_and_serial_agree_on_random_programs() {
     let mut cases = 0usize;
     let mut total_cross_shard = 0u64;
     let mut total_sharded_batches = 0u64;
+    let [serial_cfg, two_cfg, four_cfg] = EngineConfig::shard_matrix();
     while cases < 64 {
-        let Some(program) = arb_program(&mut rng) else {
+        let Some(program) = shardgen::arb_program(&mut rng) else {
             continue; // Rejected by the builder.
         };
         let topo_seed = rng.gen_range_u64(0, u64::MAX);
-        let ops = arb_ops(&mut rng);
+        let ops = shardgen::arb_ops(&mut rng);
         cases += 1;
-        let serial = run(&program, &mut DetRng::seed_from_u64(topo_seed), &ops, 1);
+        // Topology + churn as one schedule, identical at every shard count.
+        let mut schedule =
+            shardgen::topology_schedule(&mut DetRng::seed_from_u64(topo_seed));
+        schedule.extend(shardgen::schedule(&ops));
+        let serial = run_schedule_traced(&program, &schedule, &serial_cfg);
         assert_eq!(serial.stats.sharded_batches, 0, "serial path sharded?");
         assert_eq!(serial.stats.cross_shard_msgs, 0, "serial path crossed?");
-        for shards in SHARD_COUNTS {
-            let sharded = run(&program, &mut DetRng::seed_from_u64(topo_seed), &ops, shards);
+        for cfg in [&two_cfg, &four_cfg] {
+            let shards = cfg.shards.unwrap();
+            let sharded = run_schedule_traced(&program, &schedule, cfg);
             assert_eq!(
                 serial.events, sharded.events,
                 "provenance streams diverge at {shards} shards (case {cases})"

@@ -6,181 +6,24 @@
 //! counts, parallel merges) are excluded from the skeleton and free to
 //! differ; wall times are excluded everywhere.
 //!
-//! Six configurations are compared against the batched serial reference:
-//! batched at 1/2/4 worker threads, tuple-at-a-time firing, the
-//! trie-disabled batched path, and the naive nested-loop unbatched
-//! path. Alongside the skeletons, the provenance streams must stay
-//! bit-identical — tracing must never perturb evaluation. The corpus is
-//! the in-repo deterministic program generator (as in
-//! `parallel_differential.rs`) plus all 9 repro scenarios, plus one
-//! end-to-end DiffProv diagnosis traced through the whole pipeline.
+//! Six configurations are compared against the batched serial reference
+//! (`EngineConfig::matrix()` in `dp_ndlog::testsupport`): batched at
+//! 1/2/4 worker threads, tuple-at-a-time firing, the trie-disabled
+//! batched path, and the naive nested-loop unbatched path. Alongside the
+//! skeletons, the provenance streams must stay bit-identical — tracing
+//! must never perturb evaluation. The corpus is the shared prefix-
+//! flavored program generator (as in `parallel_differential.rs`) plus
+//! all 9 repro scenarios, plus one end-to-end DiffProv diagnosis traced
+//! through the whole pipeline.
 
 use std::sync::Arc;
 
-use dp_ndlog::{Engine, Program, ProvEvent, VecSink};
+use dp_ndlog::testsupport::{prefixgen, run_schedule_traced, EngineConfig};
+use dp_ndlog::{Engine, ProvEvent, VecSink};
 use dp_trace::Tracer;
-use dp_types::{
-    prefix::ip, tuple, DetRng, FieldType, NodeId, Prefix, Schema, SchemaRegistry, TableKind,
-    Tuple, Value,
-};
+use dp_types::DetRng;
 
-/// (label, naive_join, unbatched, no_trie, threads).
-const CONFIGS: [(&str, bool, bool, bool, usize); 6] = [
-    ("batched-serial", false, false, false, 1),
-    ("threads-2", false, false, false, 2),
-    ("threads-4", false, false, false, 4),
-    ("unbatched", false, true, false, 1),
-    ("no-trie", false, false, true, 1),
-    ("naive-unbatched", true, true, false, 1),
-];
-
-fn registry() -> SchemaRegistry {
-    let mut reg = SchemaRegistry::new();
-    for t in ["rt", "rt2"] {
-        reg.declare(Schema::new(
-            t,
-            TableKind::MutableBase,
-            [("m", FieldType::Prefix), ("v", FieldType::Int)],
-        ));
-    }
-    reg.declare(Schema::new(
-        "pk",
-        TableKind::MutableBase,
-        [("s", FieldType::Ip), ("d", FieldType::Ip)],
-    ));
-    reg.declare(Schema::new("out", TableKind::Derived, [("v", FieldType::Int)]));
-    reg.declare(Schema::new(
-        "out2",
-        TableKind::Derived,
-        [("a", FieldType::Int), ("b", FieldType::Int)],
-    ));
-    reg.declare(Schema::new(
-        "outc",
-        TableKind::Derived,
-        [("c", FieldType::Int)],
-    ));
-    reg
-}
-
-fn arb_addr_str(rng: &mut DetRng) -> String {
-    format!(
-        "10.0.{}.{}",
-        rng.gen_range_u64(0, 4),
-        rng.gen_range_u64(0, 4)
-    )
-}
-
-fn arb_addr(rng: &mut DetRng) -> u32 {
-    ip(&arb_addr_str(rng))
-}
-
-fn arb_route_prefix(rng: &mut DetRng) -> Prefix {
-    let len = match rng.gen_range_usize(0, 8) {
-        0 => 0,
-        1 => 8,
-        2 | 3 => 24,
-        4 | 5 => 32,
-        _ => rng.gen_range_usize(0, 33) as u8,
-    };
-    Prefix::new(arb_addr(rng), len).unwrap()
-}
-
-/// Same rule shapes as the parallel suite: every join access path the
-/// configurations disagree on internally (trie walks, hash probes,
-/// naive scans, aggregation fences) while agreeing observably.
-fn arb_rule(rng: &mut DetRng, i: usize) -> String {
-    let pv = if rng.gen_bool(0.5) { "S" } else { "D" };
-    let filter = if rng.gen_bool(0.25) { ", V <= 1" } else { "" };
-    match rng.gen_range_usize(0, 6) {
-        0 => format!(
-            "r{i} out(@N, V) :- pk(@N, S, D), rt(@N, M, V), prefix_contains(M, {pv}){filter}."
-        ),
-        1 => format!(
-            "r{i} out(@N, V) :- rt(@N, M, V), pk(@N, S, D), prefix_contains(M, {pv}){filter}."
-        ),
-        2 => format!(
-            "r{i} out(@N, V) :- rt(@N, M, V), prefix_contains(M, {}){filter}.",
-            arb_addr_str(rng)
-        ),
-        3 => format!(
-            "r{i} out2(@N, V, W) :- pk(@N, S, D), rt(@N, M, V), rt2(@N, M2, W), \
-             prefix_contains(M, S), prefix_contains(M2, D)."
-        ),
-        4 => format!(
-            "r{i} out2(@N, V, V) :- pk(@N, S, D), rt(@N, M, V), rt2(@N, M2, V), \
-             prefix_contains(M, {pv}), prefix_contains(M2, D)."
-        ),
-        _ => format!("r{i} outc(@N, agg_count(V)) :- pk(@N, S, D), rt(@N, M, V)."),
-    }
-}
-
-fn arb_program(rng: &mut DetRng) -> Option<Arc<Program>> {
-    let mut text = String::new();
-    for i in 0..rng.gen_range_usize(1, 4) {
-        text.push_str(&arb_rule(rng, i));
-        text.push('\n');
-    }
-    Program::builder(registry())
-        .rules_text(&text)
-        .ok()?
-        .build()
-        .ok()
-}
-
-type Op = (bool, u64, Tuple);
-
-fn arb_ops(rng: &mut DetRng) -> Vec<Op> {
-    let mut ops = Vec::new();
-    for _ in 0..rng.gen_range_usize(8, 40) {
-        let due = rng.gen_range_u64(0, 4);
-        let route = |rng: &mut DetRng| {
-            let t = if rng.gen_bool(0.7) { "rt" } else { "rt2" };
-            tuple!(t, arb_route_prefix(rng), rng.gen_range_i64(0, 3))
-        };
-        if rng.gen_bool(0.4) {
-            ops.push((
-                rng.gen_bool(0.2),
-                due,
-                tuple!("pk", Value::Ip(arb_addr(rng)), Value::Ip(arb_addr(rng))),
-            ));
-        } else if rng.gen_bool(0.2) {
-            let old = route(rng);
-            let new = route(rng);
-            ops.push((true, due, old));
-            ops.push((false, due, new));
-        } else {
-            ops.push((rng.gen_bool(0.25), due, route(rng)));
-        }
-    }
-    ops
-}
-
-/// Runs the ops under one configuration with a fully recording tracer and
-/// returns (skeleton rendering, provenance stream).
-fn run_traced(
-    program: &Arc<Program>,
-    ops: &[Op],
-    cfg: (&str, bool, bool, bool, usize),
-) -> (String, Vec<ProvEvent>) {
-    let (_, naive, unbatched, no_trie, threads) = cfg;
-    let mut eng = Engine::new(Arc::clone(program), VecSink::default());
-    eng.set_naive_join(naive);
-    eng.set_unbatched(unbatched);
-    eng.set_no_trie(no_trie);
-    eng.set_threads(threads);
-    let tracer = Tracer::full();
-    eng.set_tracer(tracer.clone());
-    for (i, (is_delete, due, tup)) in ops.iter().enumerate() {
-        let node = NodeId::new(if i % 3 == 0 { "n2" } else { "n" });
-        if *is_delete {
-            eng.schedule_delete(*due, node, tup.clone()).unwrap();
-        } else {
-            eng.schedule_insert(*due, node, tup.clone()).unwrap();
-        }
-    }
-    eng.run().unwrap();
-    (tracer.finish().skeleton(), eng.into_sink().events)
-}
+const CONFIGS: [EngineConfig; 6] = EngineConfig::matrix();
 
 /// Random programs: skeletons and provenance streams are bit-identical
 /// across all six configurations.
@@ -189,12 +32,13 @@ fn skeletons_agree_on_random_programs() {
     let mut rng = DetRng::seed_from_u64(0x7BAC_E5EE);
     let mut cases = 0usize;
     while cases < 48 {
-        let Some(program) = arb_program(&mut rng) else {
+        let Some(program) = prefixgen::arb_program(&mut rng, true) else {
             continue;
         };
-        let ops = arb_ops(&mut rng);
+        let ops = prefixgen::alternating_schedule(&prefixgen::arb_ops(&mut rng, 8, 40, 4));
         cases += 1;
-        let (ref_skel, ref_events) = run_traced(&program, &ops, CONFIGS[0]);
+        let reference = run_schedule_traced(&program, &ops, &CONFIGS[0]);
+        let ref_skel = reference.skeleton.as_deref().unwrap();
         assert!(
             ref_skel.contains("B engine.run") && ref_skel.contains("E engine.run"),
             "skeleton missing the run span (case {cases}):\n{ref_skel}"
@@ -204,16 +48,16 @@ fn skeletons_agree_on_random_programs() {
             "skeleton has no tick instants (case {cases}):\n{ref_skel}"
         );
         for cfg in &CONFIGS[1..] {
-            let (skel, events) = run_traced(&program, &ops, *cfg);
+            let got = run_schedule_traced(&program, &ops, cfg);
             assert_eq!(
-                ref_skel, skel,
+                reference.skeleton, got.skeleton,
                 "skeleton diverges under {} (case {cases})",
-                cfg.0
+                cfg.label
             );
             assert_eq!(
-                ref_events, events,
+                reference.events, got.events,
                 "provenance stream diverges under {} (case {cases})",
-                cfg.0
+                cfg.label
             );
         }
     }
@@ -231,12 +75,8 @@ fn skeletons_agree_on_all_repro_scenarios() {
         for (label, exec) in [("good", &s.good_exec), ("bad", &s.bad_exec)] {
             let mut reference: Option<(String, Vec<ProvEvent>)> = None;
             for cfg in CONFIGS {
-                let (_, naive, unbatched, no_trie, threads) = cfg;
                 let mut eng = Engine::new(Arc::clone(&exec.program), VecSink::default());
-                eng.set_naive_join(naive);
-                eng.set_unbatched(unbatched);
-                eng.set_no_trie(no_trie);
-                eng.set_threads(threads);
+                cfg.apply(&mut eng);
                 let tracer = Tracer::full();
                 eng.set_tracer(tracer.clone());
                 exec.log.schedule_into(&mut eng, None).unwrap();
@@ -248,12 +88,12 @@ fn skeletons_agree_on_all_repro_scenarios() {
                         assert_eq!(
                             r.0, got.0,
                             "scenario {} ({label} trace): skeleton diverges under {}",
-                            s.name, cfg.0
+                            s.name, cfg.label
                         );
                         assert_eq!(
                             r.1, got.1,
                             "scenario {} ({label} trace): stream diverges under {}",
-                            s.name, cfg.0
+                            s.name, cfg.label
                         );
                     }
                 }
@@ -273,14 +113,13 @@ fn diagnosis_skeleton_agrees_across_configurations() {
         .unwrap();
     let mut reference: Option<String> = None;
     for cfg in CONFIGS {
-        let (_, naive, unbatched, no_trie, threads) = cfg;
         let tracer = Tracer::full();
         let configure = |exec: &dp_replay::Execution| {
             let mut e = exec.clone();
-            e.naive_join = naive;
-            e.unbatched = unbatched;
-            e.no_trie = no_trie;
-            e.threads = threads;
+            e.naive_join = cfg.naive_join.unwrap();
+            e.unbatched = cfg.unbatched.unwrap();
+            e.no_trie = cfg.no_trie.unwrap();
+            e.threads = cfg.threads.unwrap();
             e.tracer = tracer.clone();
             e
         };
@@ -299,16 +138,16 @@ fn diagnosis_skeleton_agrees_across_configurations() {
             ..diffprov_core::DiffProv::default()
         };
         let report = scenario.diagnose_with(&dp).unwrap();
-        assert!(report.succeeded(), "{}: {report}", cfg.0);
+        assert!(report.succeeded(), "{}: {report}", cfg.label);
         let skel = tracer.finish().skeleton();
         assert!(
             skel.contains("B diffprov.detect_divergence") && skel.contains("B prov.extract"),
             "{}: pipeline spans missing from the skeleton:\n{skel}",
-            cfg.0
+            cfg.label
         );
         match &reference {
             None => reference = Some(skel),
-            Some(r) => assert_eq!(r, &skel, "diagnosis skeleton diverges under {}", cfg.0),
+            Some(r) => assert_eq!(r, &skel, "diagnosis skeleton diverges under {}", cfg.label),
         }
     }
 }

@@ -13,218 +13,24 @@
 //! This is the safety net for the trie access path: a probe that misses a
 //! covering prefix, returns candidates in a different order than the
 //! ordered scan, or sees through a delta-visibility horizon shows up as a
-//! stream divergence here. Programs are generated with the in-repo
-//! deterministic generator (offline build — no property-testing
-//! framework), so every case is reproducible from the seeds below.
+//! stream divergence here. Programs come from the shared prefix-flavored
+//! generator in `dp_ndlog::testsupport` (offline build — no
+//! property-testing framework), so every case is reproducible from the
+//! seeds below.
 
 use std::sync::Arc;
 
-use dp_ndlog::{Engine, Program, ProvEvent, VecSink};
-use dp_types::{
-    prefix::ip, tuple, DetRng, FieldType, NodeId, Prefix, Schema, SchemaRegistry, Sym, TableKind,
-    Tuple, Value,
+use dp_ndlog::testsupport::{
+    prefixgen, run_schedule, strip_effort_counters, EngineConfig,
 };
+use dp_ndlog::{Engine, ProvEvent, VecSink};
+use dp_types::DetRng;
 
-fn registry() -> SchemaRegistry {
-    let mut reg = SchemaRegistry::new();
-    for t in ["rt", "rt2"] {
-        reg.declare(Schema::new(
-            t,
-            TableKind::MutableBase,
-            [("m", FieldType::Prefix), ("v", FieldType::Int)],
-        ));
-    }
-    reg.declare(Schema::new(
-        "pk",
-        TableKind::MutableBase,
-        [("s", FieldType::Ip), ("d", FieldType::Ip)],
-    ));
-    reg.declare(Schema::new("out", TableKind::Derived, [("v", FieldType::Int)]));
-    reg.declare(Schema::new(
-        "out2",
-        TableKind::Derived,
-        [("a", FieldType::Int), ("b", FieldType::Int)],
-    ));
-    reg
-}
-
-/// Random address drawn from a 16-address pool, so packets routinely hit
-/// (and routinely miss) the generated route entries.
-fn arb_addr_str(rng: &mut DetRng) -> String {
-    format!(
-        "10.0.{}.{}",
-        rng.gen_range_u64(0, 4),
-        rng.gen_range_u64(0, 4)
-    )
-}
-
-fn arb_addr(rng: &mut DetRng) -> u32 {
-    ip(&arb_addr_str(rng))
-}
-
-/// Random route prefix over the same pool. Lengths cluster at the byte
-/// boundaries that make containment chains (`/0` covers everything, `/32`
-/// exactly one packet, `/24` a column of the pool), plus arbitrary odd
-/// lengths so path compression forks mid-byte.
-fn arb_route_prefix(rng: &mut DetRng) -> Prefix {
-    let len = match rng.gen_range_usize(0, 8) {
-        0 => 0,
-        1 => 8,
-        2 | 3 => 24,
-        4 | 5 => 32,
-        _ => rng.gen_range_usize(0, 33) as u8,
-    };
-    Prefix::new(arb_addr(rng), len).unwrap()
-}
-
-/// One random rule. Every shape the planner distinguishes is generated:
-///
-/// 0. packet triggers, route scanned — the trie-probe shape (the campus
-///    `fwd` rule); when the *route* triggers instead, the same rule's
-///    other plan post-filters the constraint, so both access paths run;
-/// 1. route listed first — same two plans, opposite trigger bias;
-/// 2. constraint against a literal address — `IpSource::Const` probes;
-/// 3. two route tables, two constraints — two tries on one rule;
-/// 4. two route tables equality-joined on the value column — the hash
-///    index must win over the trie on the second atom.
-fn arb_rule(rng: &mut DetRng, i: usize) -> String {
-    let pv = if rng.gen_bool(0.5) { "S" } else { "D" };
-    let filter = if rng.gen_bool(0.25) { ", V <= 1" } else { "" };
-    match rng.gen_range_usize(0, 5) {
-        0 => format!(
-            "r{i} out(@N, V) :- pk(@N, S, D), rt(@N, M, V), prefix_contains(M, {pv}){filter}."
-        ),
-        1 => format!(
-            "r{i} out(@N, V) :- rt(@N, M, V), pk(@N, S, D), prefix_contains(M, {pv}){filter}."
-        ),
-        2 => format!(
-            "r{i} out(@N, V) :- rt(@N, M, V), prefix_contains(M, {}){filter}.",
-            arb_addr_str(rng)
-        ),
-        3 => format!(
-            "r{i} out2(@N, V, W) :- pk(@N, S, D), rt(@N, M, V), rt2(@N, M2, W), \
-             prefix_contains(M, S), prefix_contains(M2, D)."
-        ),
-        _ => format!(
-            "r{i} out2(@N, V, V) :- pk(@N, S, D), rt(@N, M, V), rt2(@N, M2, V), \
-             prefix_contains(M, {pv}), prefix_contains(M2, D)."
-        ),
-    }
-}
-
-fn arb_program(rng: &mut DetRng) -> Option<Arc<Program>> {
-    let mut text = String::new();
-    for i in 0..rng.gen_range_usize(1, 4) {
-        text.push_str(&arb_rule(rng, i));
-        text.push('\n');
-    }
-    Program::builder(registry())
-        .rules_text(&text)
-        .ok()?
-        .build()
-        .ok()
-}
-
-type Op = (bool, u64, Tuple);
-
-/// Random ops: route-entry and packet churn with dues from a tiny domain,
-/// so deletes land in the same tick as inserts and delta batches go deep —
-/// the cases where trie maintenance under churn and the `as_of` horizon on
-/// `probe_prefix` both matter. Some ops expand to a delete+insert
-/// *replacement* of one route entry at a single timestamp.
-fn arb_ops(rng: &mut DetRng) -> Vec<Op> {
-    let mut ops = Vec::new();
-    for _ in 0..rng.gen_range_usize(4, 30) {
-        let due = rng.gen_range_u64(0, 6);
-        let route = |rng: &mut DetRng| {
-            let t = if rng.gen_bool(0.7) { "rt" } else { "rt2" };
-            tuple!(t, arb_route_prefix(rng), rng.gen_range_i64(0, 3))
-        };
-        if rng.gen_bool(0.4) {
-            ops.push((
-                rng.gen_bool(0.2),
-                due,
-                tuple!("pk", Value::Ip(arb_addr(rng)), Value::Ip(arb_addr(rng))),
-            ));
-        } else if rng.gen_bool(0.2) {
-            // Replacement: swap one route entry for another, same tick.
-            let old = route(rng);
-            let new = route(rng);
-            ops.push((true, due, old));
-            ops.push((false, due, new));
-        } else {
-            ops.push((rng.gen_bool(0.25), due, route(rng)));
-        }
-    }
-    ops
-}
-
-struct Outcome {
-    events: Vec<ProvEvent>,
-    firings: std::collections::BTreeMap<Sym, u64>,
-    stats: dp_ndlog::Stats,
-    fixpoint: Vec<(NodeId, Tuple, usize)>,
-}
-
-fn run(program: &Arc<Program>, ops: &[Op], unbatched: bool, no_trie: bool) -> Outcome {
-    let mut eng = Engine::new(Arc::clone(program), VecSink::default());
-    eng.set_unbatched(unbatched);
-    eng.set_no_trie(no_trie);
-    for (is_delete, due, tup) in ops {
-        let node = NodeId::new("n");
-        if *is_delete {
-            eng.schedule_delete(*due, node, tup.clone()).unwrap();
-        } else {
-            eng.schedule_insert(*due, node, tup.clone()).unwrap();
-        }
-    }
-    eng.run().unwrap();
-    let firings = eng.rule_firings().clone();
-    let stats = eng.stats();
-    let fixpoint = eng
-        .nodes()
-        .flat_map(|(node, st)| {
-            st.all()
-                .map(|(t, s)| (node.clone(), t.clone(), s.support()))
-                .collect::<Vec<_>>()
-        })
-        .collect();
-    Outcome {
-        events: eng.into_sink().events,
-        firings,
-        stats,
-        fixpoint,
-    }
-}
-
-/// Join *effort* counters are the only legitimate differences between
-/// configurations: a trie probe replaces a scan (so `trie_probes`,
-/// `join_scans`, `trie_scans`, and `join_candidates` all shift), and the
-/// batched discipline prunes whole delta groups (shifting `join_probes`
-/// and the batch counters). `join_matches` shifts too: a route entry
-/// whose prefix does not contain the probed address still *pattern*-
-/// matches the atom under a scan (the constraint rejects it afterwards),
-/// whereas the trie never surfaces it. None of that may change what the
-/// rules *fire*: derivations, events, and the fixpoint must agree
-/// exactly, so everything else is compared verbatim.
-fn strip_effort_counters(stats: dp_ndlog::Stats) -> dp_ndlog::Stats {
-    dp_ndlog::Stats {
-        batches: 0,
-        batched_deltas: 0,
-        parallel_batches: 0,
-        // Effort-only shard counters: the comparisons here cross firing
-        // disciplines too, and sharded batches only form on the batched
-        // path (see the batch differential suite).
-        sharded_batches: 0,
-        cross_shard_msgs: 0,
-        peak_interned: 0,
-        join_probes: 0,
-        join_scans: 0,
-        join_candidates: 0,
-        join_matches: 0,
-        trie_probes: 0,
-        trie_scans: 0,
-        ..stats
+fn config(unbatched: bool, no_trie: bool) -> EngineConfig {
+    EngineConfig {
+        unbatched: Some(unbatched),
+        no_trie: Some(no_trie),
+        ..EngineConfig::inherit("trie-matrix")
     }
 }
 
@@ -235,15 +41,15 @@ fn trie_and_scan_agree_on_random_programs() {
     let mut total_trie_probes = 0u64;
     let mut total_trie_scans = 0u64;
     while cases < 96 {
-        let Some(program) = arb_program(&mut rng) else {
+        let Some(program) = prefixgen::arb_program(&mut rng, false) else {
             continue; // Rejected by the builder (e.g. unbound head var).
         };
-        let ops = arb_ops(&mut rng);
+        let ops = prefixgen::single_node_schedule(&prefixgen::arb_ops(&mut rng, 4, 30, 6));
         cases += 1;
-        let trie = run(&program, &ops, false, false);
-        let scan = run(&program, &ops, false, true);
-        let trie_u = run(&program, &ops, true, false);
-        let scan_u = run(&program, &ops, true, true);
+        let trie = run_schedule(&program, &ops, &config(false, false));
+        let scan = run_schedule(&program, &ops, &config(false, true));
+        let trie_u = run_schedule(&program, &ops, &config(true, false));
+        let scan_u = run_schedule(&program, &ops, &config(true, true));
         for (label, other) in [("scan", &scan), ("trie+unbatched", &trie_u), ("scan+unbatched", &scan_u)] {
             assert_eq!(
                 trie.events, other.events,

@@ -1,0 +1,157 @@
+//! Structural well-formedness checks for temporal provenance graphs.
+//!
+//! The temporal provenance graph has a strict vertex grammar (Section 3.2
+//! of the paper): EXIST vertexes are justified by exactly one APPEAR,
+//! every APPEAR by exactly one INSERT or DERIVE, DERIVE children are the
+//! EXIST intervals of the body tuples, DISAPPEAR children are negative
+//! events, and the leaf kinds carry no children at all. Episodes of one
+//! tuple never overlap and march forward in time, and each episode's
+//! EXIST vertex agrees with the episode record about the interval end.
+//!
+//! These rules used to live only inside the randomized test suite; the
+//! simulation harness (`dp-sim`) checks them against every generated
+//! scenario too, so they are exported here as a reusable checker. The
+//! checker *collects* violations instead of panicking — a fuzzing driver
+//! wants to report and shrink, not die on the first bad vertex.
+
+use std::collections::BTreeSet;
+
+use dp_types::TupleRef;
+
+use crate::graph::{ProvGraph, VertexKind};
+
+/// Checks every structural invariant of `g`, returning a human-readable
+/// description of each violation (empty means the graph is well-formed).
+pub fn well_formedness_violations(g: &ProvGraph) -> Vec<String> {
+    let mut out = Vec::new();
+    let len = g.len();
+    for (i, v) in g.vertices().iter().enumerate() {
+        for &c in &v.children {
+            if c >= len {
+                out.push(format!("vertex {i} ({v}) has out-of-range child {c}"));
+            }
+        }
+        if v.children.iter().any(|&c| c >= len) {
+            continue; // Child-kind checks below would index out of range.
+        }
+        match &v.kind {
+            VertexKind::Exist { .. } => {
+                if v.children.len() != 1 {
+                    out.push(format!(
+                        "EXIST vertex {i} ({v}) has {} children, expected 1",
+                        v.children.len()
+                    ));
+                } else if !matches!(g.vertex(v.children[0]).kind, VertexKind::Appear) {
+                    out.push(format!(
+                        "EXIST vertex {i} ({v}) child is {}, expected APPEAR",
+                        g.vertex(v.children[0])
+                    ));
+                }
+            }
+            VertexKind::Appear => {
+                if v.children.len() != 1 {
+                    out.push(format!(
+                        "APPEAR vertex {i} ({v}) has {} children, expected 1",
+                        v.children.len()
+                    ));
+                } else if !matches!(
+                    g.vertex(v.children[0]).kind,
+                    VertexKind::Insert | VertexKind::Derive { .. }
+                ) {
+                    out.push(format!(
+                        "APPEAR vertex {i} ({v}) child is {}, expected INSERT or DERIVE",
+                        g.vertex(v.children[0])
+                    ));
+                }
+            }
+            VertexKind::Derive { .. } => {
+                for &c in &v.children {
+                    if !matches!(g.vertex(c).kind, VertexKind::Exist { .. }) {
+                        out.push(format!(
+                            "DERIVE vertex {i} ({v}) child {} is not an EXIST",
+                            g.vertex(c)
+                        ));
+                    }
+                }
+            }
+            VertexKind::Disappear => {
+                for &c in &v.children {
+                    if !matches!(
+                        g.vertex(c).kind,
+                        VertexKind::Delete | VertexKind::Underive { .. }
+                    ) {
+                        out.push(format!(
+                            "DISAPPEAR vertex {i} ({v}) child {} is not DELETE/UNDERIVE",
+                            g.vertex(c)
+                        ));
+                    }
+                }
+            }
+            VertexKind::Insert | VertexKind::Delete | VertexKind::Underive { .. } => {
+                if !v.children.is_empty() {
+                    out.push(format!(
+                        "leaf vertex {i} ({v}) has {} children, expected none",
+                        v.children.len()
+                    ));
+                }
+            }
+        }
+    }
+    // Episode structure, per tuple reference seen anywhere in the graph.
+    let mut seen = BTreeSet::new();
+    for v in g.vertices() {
+        seen.insert(TupleRef::new(v.node.clone(), v.tuple.as_ref().clone()));
+    }
+    for tref in seen {
+        let eps = g.episodes(&tref);
+        for w in eps.windows(2) {
+            match w[0].end {
+                Some(end) if end <= w[1].start => {}
+                Some(end) => out.push(format!(
+                    "episodes of {tref} overlap: [{}, {end}) then [{}, ..)",
+                    w[0].start, w[1].start
+                )),
+                None => out.push(format!(
+                    "non-final episode of {tref} starting at {} is open",
+                    w[0].start
+                )),
+            }
+        }
+        for ep in eps {
+            if let Some(end) = ep.end {
+                if ep.start > end {
+                    out.push(format!(
+                        "episode of {tref} runs backwards: [{}, {end})",
+                        ep.start
+                    ));
+                }
+            }
+            match &g.vertex(ep.exist).kind {
+                VertexKind::Exist { end } => {
+                    if *end != ep.end {
+                        out.push(format!(
+                            "episode of {tref} ends at {:?} but its EXIST vertex says {end:?}",
+                            ep.end
+                        ));
+                    }
+                }
+                other => out.push(format!(
+                    "episode of {tref} points at a {} vertex instead of an EXIST",
+                    other.tag()
+                )),
+            }
+        }
+    }
+    out
+}
+
+/// [`well_formedness_violations`], packaged as a `Result` for callers
+/// that only want pass/fail with a joined message.
+pub fn check_well_formed(g: &ProvGraph) -> Result<(), String> {
+    let violations = well_formedness_violations(g);
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations.join("\n"))
+    }
+}

@@ -6,7 +6,9 @@
 use std::sync::Arc;
 
 use dp_ndlog::{Engine, Program};
-use dp_provenance::{extract_tree, GraphRecorder, ProvGraph, VertexKind};
+use dp_provenance::{
+    extract_tree, well_formedness_violations, GraphRecorder, ProvGraph, VertexKind,
+};
 use dp_types::{tuple, DetRng, FieldType, NodeId, Schema, SchemaRegistry, Sym, TableKind, TupleRef};
 
 fn program() -> Arc<Program> {
@@ -56,78 +58,28 @@ fn run_schedule(ops: &[(bool, bool, i64, u64)]) -> (ProvGraph, u64) {
     (eng.into_sink().finish(), now)
 }
 
-/// Vertex-type structure: EXIST -> APPEAR -> (INSERT|DERIVE), DERIVE
-/// children are EXISTs, DISAPPEAR children are negative vertexes.
+/// Vertex-type grammar and episode ordering, via the exported checker
+/// (`dp_provenance::well_formedness_violations`) that the simulation
+/// harness also runs against every generated scenario. One seed per
+/// former in-test loop so the covered schedules are unchanged.
 #[test]
-fn vertex_children_follow_the_grammar() {
-    let mut rng = DetRng::seed_from_u64(0x6A4F_0001);
-    for _ in 0..48 {
-        let ops = arb_ops(&mut rng);
-        let (g, _) = run_schedule(&ops);
-        for v in g.vertices() {
-            match &v.kind {
-                VertexKind::Exist { .. } => {
-                    assert_eq!(v.children.len(), 1);
-                    assert!(matches!(g.vertex(v.children[0]).kind, VertexKind::Appear));
-                }
-                VertexKind::Appear => {
-                    assert_eq!(v.children.len(), 1);
-                    assert!(matches!(
-                        g.vertex(v.children[0]).kind,
-                        VertexKind::Insert | VertexKind::Derive { .. }
-                    ));
-                }
-                VertexKind::Derive { .. } => {
-                    for &c in &v.children {
-                        assert!(matches!(g.vertex(c).kind, VertexKind::Exist { .. }));
-                    }
-                }
-                VertexKind::Disappear => {
-                    for &c in &v.children {
-                        assert!(matches!(
-                            g.vertex(c).kind,
-                            VertexKind::Delete | VertexKind::Underive { .. }
-                        ));
-                    }
-                }
-                VertexKind::Insert | VertexKind::Delete | VertexKind::Underive { .. } => {
-                    assert!(v.children.is_empty());
-                }
-            }
+fn random_graphs_are_well_formed() {
+    let mut nonempty = 0usize;
+    for seed in [0x6A4F_0001u64, 0x6A4F_0002] {
+        let mut rng = DetRng::seed_from_u64(seed);
+        for _ in 0..48 {
+            let ops = arb_ops(&mut rng);
+            let (g, _) = run_schedule(&ops);
+            nonempty += usize::from(!g.is_empty());
+            let violations = well_formedness_violations(&g);
+            assert!(
+                violations.is_empty(),
+                "schedule {ops:?}:\n{}",
+                violations.join("\n")
+            );
         }
     }
-}
-
-/// Episodes of one tuple never overlap and are ordered in time; EXIST
-/// intervals agree with the episode records.
-#[test]
-fn episodes_are_disjoint_and_ordered() {
-    let mut rng = DetRng::seed_from_u64(0x6A4F_0002);
-    for _ in 0..48 {
-        let ops = arb_ops(&mut rng);
-        let (g, _) = run_schedule(&ops);
-        // Collect all trefs seen in the graph.
-        let mut seen = std::collections::BTreeSet::new();
-        for v in g.vertices() {
-            seen.insert(TupleRef::new(v.node.clone(), v.tuple.clone()));
-        }
-        for tref in seen {
-            let eps = g.episodes(&tref);
-            for w in eps.windows(2) {
-                let end = w[0].end.expect("only the last episode may be open");
-                assert!(end <= w[1].start);
-            }
-            for ep in eps {
-                if let Some(end) = ep.end {
-                    assert!(ep.start <= end);
-                }
-                match &g.vertex(ep.exist).kind {
-                    VertexKind::Exist { end } => assert_eq!(*end, ep.end),
-                    other => panic!("episode.exist is {other:?}"),
-                }
-            }
-        }
-    }
+    assert!(nonempty > 48, "generator built mostly empty graphs");
 }
 
 /// Every derived tuple alive at the end has an extractable tree whose root

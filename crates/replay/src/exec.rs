@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use dp_ndlog::{Engine, EngineSnapshot, NullSink, Program, ProvenanceSink, TupleChange};
+use dp_ndlog::{Engine, EngineSnapshot, HashSink, NullSink, Program, ProvenanceSink, TupleChange};
 use dp_provenance::{extract_tree, extract_tree_latest, GraphRecorder, ProvGraph, ProvTree};
 use dp_trace::{Class, Tracer};
 use dp_types::{LogicalTime, NodeId, Result, Tuple, TupleRef};
@@ -206,6 +206,29 @@ impl Execution {
         }
         engine.run()?;
         Ok(engine)
+    }
+
+    /// Replays the full log through a [`HashSink`], returning the
+    /// order-sensitive digest of the provenance event stream and the
+    /// number of events folded into it.
+    ///
+    /// The digest is the determinism fingerprint the simulation harness
+    /// leans on: replaying the same execution twice — or at different
+    /// thread/shard/trie/firing settings — must produce the same value,
+    /// because the stream itself is bit-identical in every configuration.
+    /// Nothing is buffered, so the check is safe on executions whose
+    /// streams would not fit in memory.
+    pub fn stream_digest(&self) -> Result<(u64, u64)> {
+        let mut engine = Engine::new(Arc::clone(&self.program), HashSink::default());
+        self.configure(&mut engine);
+        let span = self.schedule_span();
+        self.log.schedule_into(&mut engine, None)?;
+        if let Some(span) = span {
+            span.end(None, &[("events", self.log.len() as u64)]);
+        }
+        engine.run()?;
+        let sink = engine.into_sink();
+        Ok((sink.digest(), sink.count))
     }
 
     /// Replays a **clone** of this execution with `changes` applied

@@ -1,7 +1,7 @@
 //! Topology construction: switches, hosts, links, and controller wiring.
 
 use dp_replay::EventLog;
-use dp_types::{tuple, LogicalTime, NodeId, Sym, Tuple, Value};
+use dp_types::{tuple, DetRng, LogicalTime, NodeId, Sym, Tuple, Value};
 
 /// A network topology under one controller.
 ///
@@ -125,6 +125,39 @@ impl Topology {
         }
     }
 
+    /// A seeded random topology: `n` switches named `S0..S{n-1}` wired
+    /// into a random spanning tree (switch `Si` links to a random earlier
+    /// switch, so the network is always connected) plus `extra` additional
+    /// random links between non-adjacent switches. Hosts are *not*
+    /// attached — callers place them, because host placement is policy
+    /// (the simulation harness pins its destination and backup hosts to
+    /// specific switches it draws separately).
+    ///
+    /// Construction draws from `rng` in a fixed order (tree parents first,
+    /// then extra-link endpoints), so one seed always yields one wiring —
+    /// the property the fault-injection harness's reproducibility rests
+    /// on.
+    pub fn random(rng: &mut DetRng, controller: &str, n: usize, extra: usize) -> Self {
+        assert!(n >= 2, "a random topology needs at least two switches");
+        let names: Vec<String> = (0..n).map(|i| format!("S{i}")).collect();
+        let mut topo = Topology::new(controller);
+        for name in &names {
+            topo.switch(name);
+        }
+        for i in 1..n {
+            let parent = rng.gen_range_usize(0, i);
+            topo.link(&names[i], &names[parent]);
+        }
+        for _ in 0..extra {
+            let a = rng.gen_range_usize(0, n);
+            let b = rng.gen_range_usize(0, n);
+            if a != b && !topo.neighbors(&names[a]).contains(&names[b].as_str()) {
+                topo.link(&names[a], &names[b]);
+            }
+        }
+        topo
+    }
+
     /// Shortest-path next hop from `from` towards destination node `to`
     /// (switch or host), by BFS over switch links. Returns the neighbor
     /// name, or `None` if unreachable.
@@ -216,5 +249,37 @@ mod tests {
         t.emit(&mut log, 0);
         // 2 links * 2 directions + 1 host + 3 hellos = 8 events.
         assert_eq!(log.len(), 8);
+    }
+
+    #[test]
+    fn random_topologies_are_connected_and_reproducible() {
+        for seed in 0..32u64 {
+            let mut rng = DetRng::seed_from_u64(seed);
+            let n = rng.gen_range_usize(2, 9);
+            let extra = rng.gen_range_usize(0, 4);
+            let t = Topology::random(&mut rng, "ctl", n, extra);
+            assert_eq!(t.switch_names().len(), n);
+            // Spanning tree ⇒ every switch reaches every other.
+            for a in t.switch_names() {
+                for b in t.switch_names() {
+                    if a != b {
+                        assert!(
+                            t.next_hop(a, b).is_some(),
+                            "seed {seed}: {a} cannot reach {b}"
+                        );
+                    }
+                }
+            }
+            // Same seed, same wiring — byte for byte.
+            let mut rng2 = DetRng::seed_from_u64(seed);
+            let n2 = rng2.gen_range_usize(2, 9);
+            let extra2 = rng2.gen_range_usize(0, 4);
+            let t2 = Topology::random(&mut rng2, "ctl", n2, extra2);
+            let mut log = EventLog::new();
+            let mut log2 = EventLog::new();
+            t.emit(&mut log, 0);
+            t2.emit(&mut log2, 0);
+            assert_eq!(log.events(), log2.events(), "seed {seed} not reproducible");
+        }
     }
 }

@@ -1,0 +1,442 @@
+//! The invariant battery: everything a generated scenario must satisfy.
+//!
+//! Each scenario is pushed through the whole stack — engine, provenance
+//! recorder, replay, DiffProv — and checked against invariants that hold
+//! for *every* seed, not just the hand-built repro scenarios:
+//!
+//! 1. **Digest determinism** — replaying an execution twice, and at
+//!    1/2/4 shards, 2 worker threads, tuple-at-a-time firing, the
+//!    trie-disabled path, and the naive join path, folds to one and the
+//!    same provenance stream digest.
+//! 2. **Graph well-formedness** — the recorded temporal provenance graph
+//!    obeys the vertex grammar and episode ordering
+//!    ([`dp_provenance::well_formedness_violations`]).
+//! 3. **Baseline sanity** — the fault-free execution delivers every probe
+//!    packet at the `dst` host, and nowhere else.
+//! 4. **Verdict invariance** — when the injections produce a diagnosable
+//!    misdelivery, DiffProv's verdict (success/failure, the change set,
+//!    round count, tree sizes) is identical under all six engine
+//!    configurations and under sharded replay.
+//! 5. **Restart transparency** — a scenario with a `NodeRestart` replays
+//!    to a bit-identical stream when the engine is snapshotted and
+//!    restored at the cut, at any restore shard count.
+//! 6. **Duplicate invisibility** — a duplicated packet is absorbed by
+//!    idempotent base insertion: dropping the `DupPacket` injections from
+//!    the schedule must not change the bad execution's digest.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use diffprov_core::{DiffProv, QueryEvent};
+use dp_ndlog::testsupport::EngineConfig;
+use dp_ndlog::{Engine, ProvEvent, VecSink};
+use dp_provenance::well_formedness_violations;
+use dp_replay::{BaseOp, EventLog, Execution};
+use dp_sdn::deliver_at;
+use dp_types::{LogicalTime, Result};
+
+use crate::scenario::{
+    generate_masked, Injection, SimScenario, PROBE_LEN, PROTO_TCP,
+};
+
+/// One invariant violation found by the battery.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Stable invariant name (also recorded in corpus files).
+    pub invariant: &'static str,
+    /// Human-readable description of what diverged.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+/// What the battery observed about one scenario.
+#[derive(Clone, Debug, Default)]
+pub struct BatteryReport {
+    /// All violations found (empty means the scenario passed).
+    pub violations: Vec<Violation>,
+    /// True when good and bad executions delivered differently.
+    pub divergent: bool,
+    /// True when the divergence was diagnosable (a misdelivery with a
+    /// delivery on both sides) and DiffProv ran.
+    pub diagnosed: bool,
+    /// True when the diagnosis aligned the trees.
+    pub diagnosis_succeeded: bool,
+    /// Injection kinds that were actually applied.
+    pub kinds: Vec<&'static str>,
+}
+
+impl BatteryReport {
+    /// True when every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs the full battery against one scenario.
+pub fn check_scenario(sc: &SimScenario) -> BatteryReport {
+    let mut report = BatteryReport {
+        kinds: sc.applied_kinds(),
+        ..BatteryReport::default()
+    };
+    let fail = |invariant: &'static str, detail: String, out: &mut BatteryReport| {
+        out.violations.push(Violation { invariant, detail });
+    };
+
+    // --- 1. Digest determinism -------------------------------------------
+    let digests = |exec: &Execution| -> Result<Vec<(String, (u64, u64))>> {
+        let mut out = vec![
+            ("base".to_string(), exec.stream_digest()?),
+            ("rerun".to_string(), exec.stream_digest()?),
+        ];
+        for shards in [2usize, 4] {
+            let mut e = exec.clone();
+            e.shards = shards;
+            out.push((format!("shards-{shards}"), e.stream_digest()?));
+        }
+        let mut threads2 = exec.clone();
+        threads2.threads = 2;
+        out.push(("threads-2".to_string(), threads2.stream_digest()?));
+        let mut unbatched = exec.clone();
+        unbatched.unbatched = true;
+        out.push(("unbatched".to_string(), unbatched.stream_digest()?));
+        let mut no_trie = exec.clone();
+        no_trie.no_trie = true;
+        out.push(("no-trie".to_string(), no_trie.stream_digest()?));
+        let mut naive = exec.clone();
+        naive.naive_join = true;
+        out.push(("naive-join".to_string(), naive.stream_digest()?));
+        Ok(out)
+    };
+    let mut side_digest = [0u64; 2];
+    for (side_idx, (side, exec)) in [("good", &sc.good), ("bad", &sc.bad)].iter().enumerate() {
+        match digests(exec) {
+            Ok(all) => {
+                let (ref base_label, base) = all[0];
+                debug_assert_eq!(base_label, "base");
+                side_digest[side_idx] = base.0;
+                for (label, got) in &all[1..] {
+                    if *got != base {
+                        fail(
+                            "digest-determinism",
+                            format!(
+                                "seed {}: {side} stream digest diverges under {label}: \
+                                 base {base:?}, got {got:?}",
+                                sc.seed
+                            ),
+                            &mut report,
+                        );
+                    }
+                }
+            }
+            Err(e) => fail(
+                "digest-determinism",
+                format!("seed {}: {side} replay failed: {e}", sc.seed),
+                &mut report,
+            ),
+        }
+    }
+
+    // --- 2 & 3. Graph well-formedness and deliveries ---------------------
+    type Deliveries = BTreeMap<i64, BTreeSet<String>>;
+    let replayed = |exec: &Execution| -> Result<(Deliveries, Vec<String>)> {
+        let r = exec.replay()?;
+        let graph_violations = well_formedness_violations(r.graph());
+        let mut deliv: BTreeMap<i64, BTreeSet<String>> = BTreeMap::new();
+        for v in r.graph().vertices() {
+            if matches!(v.kind, dp_provenance::VertexKind::Appear)
+                && v.tuple.table.as_str() == "deliver"
+            {
+                if let Ok(pid) = v.tuple.args[0].as_int() {
+                    deliv.entry(pid).or_default().insert(v.node.to_string());
+                }
+            }
+        }
+        Ok((deliv, graph_violations))
+    };
+    let mut sides = Vec::new();
+    for (side, exec) in [("good", &sc.good), ("bad", &sc.bad)] {
+        match replayed(exec) {
+            Ok((deliv, graph_violations)) => {
+                for gv in graph_violations {
+                    fail(
+                        "graph-well-formed",
+                        format!("seed {}: {side} graph: {gv}", sc.seed),
+                        &mut report,
+                    );
+                }
+                sides.push(deliv);
+            }
+            Err(e) => {
+                fail(
+                    "graph-well-formed",
+                    format!("seed {}: {side} replay failed: {e}", sc.seed),
+                    &mut report,
+                );
+                sides.push(BTreeMap::new());
+            }
+        }
+    }
+    let (good_deliv, bad_deliv) = (sides[0].clone(), sides[1].clone());
+    for p in &sc.packets {
+        let hosts = good_deliv.get(&p.pid).cloned().unwrap_or_default();
+        if hosts.iter().map(String::as_str).collect::<Vec<_>>() != ["dst"] {
+            fail(
+                "good-baseline",
+                format!(
+                    "seed {}: packet {} delivered at {hosts:?} in the fault-free \
+                     execution, expected exactly [\"dst\"]",
+                    sc.seed, p.pid
+                ),
+                &mut report,
+            );
+        }
+    }
+
+    // --- 4. Verdict invariance -------------------------------------------
+    let divergent_pid = sc.packets.iter().find_map(|p| {
+        let good = good_deliv.get(&p.pid).cloned().unwrap_or_default();
+        let bad = bad_deliv.get(&p.pid).cloned().unwrap_or_default();
+        (good != bad).then_some((p, good, bad))
+    });
+    report.divergent = divergent_pid.is_some();
+    if let Some((packet, good_hosts, bad_hosts)) = divergent_pid {
+        if let (Some(good_host), Some(bad_host)) =
+            (good_hosts.iter().next(), bad_hosts.iter().next())
+        {
+            report.diagnosed = true;
+            let good_event = QueryEvent::new(
+                deliver_at(
+                    good_host,
+                    packet.pid,
+                    packet.src,
+                    crate::scenario::probe_dst(),
+                    PROTO_TCP,
+                    PROBE_LEN,
+                ),
+                u64::MAX,
+            );
+            let bad_event = QueryEvent::new(
+                deliver_at(
+                    bad_host,
+                    packet.pid,
+                    packet.src,
+                    crate::scenario::probe_dst(),
+                    PROTO_TCP,
+                    PROBE_LEN,
+                ),
+                u64::MAX,
+            );
+            let mut reference: Option<(String, Vec<String>)> = None;
+            let mut configs: Vec<(String, Execution, Execution)> = EngineConfig::matrix()
+                .iter()
+                .map(|cfg| {
+                    let adapt = |exec: &Execution| {
+                        let mut e = exec.clone();
+                        e.naive_join = cfg.naive_join.unwrap_or(e.naive_join);
+                        e.unbatched = cfg.unbatched.unwrap_or(e.unbatched);
+                        e.no_trie = cfg.no_trie.unwrap_or(e.no_trie);
+                        e.threads = cfg.threads.unwrap_or(e.threads);
+                        e
+                    };
+                    (cfg.label.to_string(), adapt(&sc.good), adapt(&sc.bad))
+                })
+                .collect();
+            let sharded = |exec: &Execution| {
+                let mut e = exec.clone();
+                e.unbatched = false;
+                e.threads = 1;
+                e.shards = 2;
+                e
+            };
+            configs.push(("shards-2".to_string(), sharded(&sc.good), sharded(&sc.bad)));
+            for (label, good, bad) in &configs {
+                match DiffProv::default().diagnose(good, &good_event, bad, &bad_event) {
+                    Ok(r) => {
+                        report.diagnosis_succeeded |= r.succeeded();
+                        let verdict = render_verdict(&r);
+                        match &reference {
+                            None => reference = Some((label.clone(), verdict)),
+                            Some((ref_label, ref_verdict)) => {
+                                if ref_verdict != &verdict {
+                                    fail(
+                                        "verdict-invariant",
+                                        format!(
+                                            "seed {}: diagnosis verdict diverges between \
+                                             {ref_label} and {label}:\n--- {ref_label}\n{}\n--- \
+                                             {label}\n{}",
+                                            sc.seed,
+                                            ref_verdict.join("\n"),
+                                            verdict.join("\n")
+                                        ),
+                                        &mut report,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => fail(
+                        "verdict-invariant",
+                        format!("seed {}: diagnosis errored under {label}: {e}", sc.seed),
+                        &mut report,
+                    ),
+                }
+            }
+        }
+    }
+
+    // --- 5. Restart transparency -----------------------------------------
+    if !sc.restart_cuts.is_empty() {
+        match restart_leg(&sc.bad, &sc.restart_cuts) {
+            Ok(None) => {}
+            Ok(Some(detail)) => fail(
+                "restart-transparency",
+                format!("seed {}: {detail}", sc.seed),
+                &mut report,
+            ),
+            Err(e) => fail(
+                "restart-transparency",
+                format!("seed {}: restart replay failed: {e}", sc.seed),
+                &mut report,
+            ),
+        }
+    }
+
+    // --- 6. Duplicate invisibility ---------------------------------------
+    let dup_free: Vec<usize> = sc
+        .applied
+        .iter()
+        .copied()
+        .filter(|&i| !matches!(sc.injections[i], Injection::DupPacket { .. }))
+        .collect();
+    if dup_free.len() != sc.applied.len() {
+        let undup = generate_masked(sc.seed, Some(&dup_free));
+        match undup.bad.stream_digest() {
+            Ok((digest, _)) => {
+                if digest != side_digest[1] {
+                    fail(
+                        "dup-invisible",
+                        format!(
+                            "seed {}: dropping the duplicate packets changed the bad \
+                             digest ({} -> {digest})",
+                            sc.seed, side_digest[1]
+                        ),
+                        &mut report,
+                    );
+                }
+            }
+            Err(e) => fail(
+                "dup-invisible",
+                format!("seed {}: dup-free replay failed: {e}", sc.seed),
+                &mut report,
+            ),
+        }
+    }
+
+    report
+}
+
+/// Convenience: generate and check one seed.
+pub fn check_seed(seed: u64) -> BatteryReport {
+    check_scenario(&generate_masked(seed, None))
+}
+
+/// The configuration-independent rendering of a DiffProv report that the
+/// verdict-invariance leg compares: outcome, verification, round count,
+/// tree sizes, and the change set — everything except wall-clock metrics.
+fn render_verdict(r: &diffprov_core::Report) -> Vec<String> {
+    let mut out = vec![
+        match &r.failure {
+            None => "aligned".to_string(),
+            Some(f) => format!("failed: {f}"),
+        },
+        format!(
+            "verified={} rounds={} good_tree={} bad_tree={}",
+            r.verified,
+            r.rounds.len(),
+            r.good_tree_size,
+            r.bad_tree_size
+        ),
+    ];
+    out.extend(r.delta.iter().map(|c| c.to_string()));
+    out
+}
+
+/// Replays `exec` uninterrupted and with snapshot/restore restarts at
+/// every cut (cycling the restore shard count through 1, 2, 4), and
+/// compares the provenance streams. Returns a divergence description, or
+/// `None` when the restarted stream is bit-identical.
+fn restart_leg(exec: &Execution, cuts: &[LogicalTime]) -> Result<Option<String>> {
+    let reference = {
+        let mut eng = serial_engine(exec);
+        schedule_range(&mut eng, &exec.log, None, None)?;
+        eng.run()?;
+        eng.into_sink().events
+    };
+    let shard_cycle = [1usize, 2, 4];
+    let mut restarted: Vec<ProvEvent> = Vec::new();
+    let mut eng = serial_engine(exec);
+    let mut prev: Option<LogicalTime> = None;
+    for (i, &cut) in cuts.iter().enumerate() {
+        schedule_range(&mut eng, &exec.log, prev, Some(cut))?;
+        eng.run()?;
+        let snap = eng.snapshot()?;
+        restarted.append(&mut eng.into_sink().events);
+        eng = Engine::restore(Arc::clone(&exec.program), snap, VecSink::default())?;
+        eng.set_unbatched(false);
+        eng.set_threads(1);
+        eng.set_shards(shard_cycle[i % shard_cycle.len()]);
+        prev = Some(cut);
+    }
+    schedule_range(&mut eng, &exec.log, prev, None)?;
+    eng.run()?;
+    restarted.append(&mut eng.into_sink().events);
+    if restarted == reference {
+        return Ok(None);
+    }
+    let first = reference
+        .iter()
+        .zip(&restarted)
+        .position(|(a, b)| a != b)
+        .unwrap_or(reference.len().min(restarted.len()));
+    Ok(Some(format!(
+        "restarted stream diverges from the uninterrupted one at event {first} \
+         ({} vs {} events; cuts {cuts:?})",
+        reference.len(),
+        restarted.len()
+    )))
+}
+
+fn serial_engine(exec: &Execution) -> Engine<VecSink> {
+    let mut eng = Engine::new(Arc::clone(&exec.program), VecSink::default());
+    eng.set_unbatched(false);
+    eng.set_threads(1);
+    eng.set_shards(1);
+    eng
+}
+
+/// Schedules the log events with `after < due <= until` into `eng`.
+fn schedule_range(
+    eng: &mut Engine<VecSink>,
+    log: &EventLog,
+    after: Option<LogicalTime>,
+    until: Option<LogicalTime>,
+) -> Result<()> {
+    for e in log.events() {
+        if after.is_some_and(|a| e.due <= a) {
+            continue;
+        }
+        if until.is_some_and(|u| e.due > u) {
+            break; // The log is sorted by due.
+        }
+        match e.op {
+            BaseOp::Insert => eng.schedule_insert(e.due, e.node.clone(), e.tuple.clone())?,
+            BaseOp::Delete => eng.schedule_delete(e.due, e.node.clone(), e.tuple.clone())?,
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Delta-debugging shrinker for failing injection schedules.
+//!
+//! When a seed violates an invariant, the interesting question is *which
+//! injections* matter. Because masked regeneration keeps the topology and
+//! workload fixed (see [`crate::scenario::generate_masked`]), the failing
+//! schedule can be minimized by classic ddmin over the applied injection
+//! indexes: repeatedly try subsets and complements at doubling
+//! granularity, keeping any smaller set that still fails.
+
+/// Minimizes `keep` (a set of injection indexes) such that `fails(&keep)`
+/// stays true, using the ddmin algorithm. `fails` must be deterministic;
+/// the initial set is assumed failing (if it is not, it is returned
+/// unchanged). The result is 1-minimal: removing any single remaining
+/// index makes the failure disappear.
+pub fn ddmin(initial: &[usize], mut fails: impl FnMut(&[usize]) -> bool) -> Vec<usize> {
+    let mut keep: Vec<usize> = initial.to_vec();
+    if keep.len() <= 1 || !fails(&keep) {
+        return keep;
+    }
+    let mut n = 2usize;
+    while keep.len() >= 2 {
+        let chunk = keep.len().div_ceil(n);
+        let mut reduced = false;
+        // Try each subset, then each complement.
+        for start in (0..keep.len()).step_by(chunk) {
+            let subset: Vec<usize> = keep[start..(start + chunk).min(keep.len())].to_vec();
+            if subset.len() < keep.len() && fails(&subset) {
+                keep = subset;
+                n = 2;
+                reduced = true;
+                break;
+            }
+            let complement: Vec<usize> = keep
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(i, _)| !(start..(start + chunk).min(keep.len())).contains(&i))
+                .map(|(_, v)| v)
+                .collect();
+            if !complement.is_empty() && complement.len() < keep.len() && fails(&complement) {
+                keep = complement;
+                n = (n - 1).max(2);
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            if n >= keep.len() {
+                break;
+            }
+            n = (n * 2).min(keep.len());
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddmin_finds_a_single_culprit() {
+        let initial: Vec<usize> = (0..10).collect();
+        let min = ddmin(&initial, |keep| keep.contains(&7));
+        assert_eq!(min, vec![7]);
+    }
+
+    #[test]
+    fn ddmin_keeps_an_interacting_pair() {
+        let initial: Vec<usize> = (0..8).collect();
+        let min = ddmin(&initial, |keep| keep.contains(&2) && keep.contains(&5));
+        assert_eq!(min, vec![2, 5]);
+    }
+
+    #[test]
+    fn ddmin_returns_input_when_it_does_not_fail() {
+        let initial = vec![1, 2, 3];
+        let min = ddmin(&initial, |_| false);
+        assert_eq!(min, initial);
+    }
+
+    #[test]
+    fn ddmin_is_deterministic() {
+        let initial: Vec<usize> = (0..12).collect();
+        let p = |keep: &[usize]| keep.iter().filter(|&&i| i % 3 == 0).count() >= 2;
+        assert_eq!(ddmin(&initial, p), ddmin(&initial, p));
+    }
+}

@@ -93,6 +93,33 @@ impl DetRng {
     pub fn gen_u8(&mut self) -> u8 {
         (self.next_u64() >> 56) as u8
     }
+
+    /// Splits off an independent child stream named by `label`.
+    ///
+    /// The child's seed is derived by hashing the parent's *current* state
+    /// together with the label (FNV-1a over the label bytes, finalized
+    /// through one SplitMix64 scramble), and the parent's own state is
+    /// **not** advanced. Consumers that draw from several logical streams
+    /// (topology, workload, fault injections) should fork one child per
+    /// concern: drawing more values from one stream — e.g. because a new
+    /// injection kind was added — then never perturbs the values the other
+    /// streams produce for the same seed.
+    pub fn fork(&self, label: &str) -> DetRng {
+        const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = FNV_OFFSET;
+        for b in label.bytes() {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        // Mix the label hash into the parent state and run one SplitMix64
+        // finalization so nearby parent states / similar labels decorrelate.
+        let mut z = self
+            .state
+            .wrapping_add(h.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        DetRng::seed_from_u64(z ^ (z >> 31))
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +154,49 @@ mod tests {
             let f = r.gen_f64();
             assert!((0.0..1.0).contains(&f));
         }
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_label_sensitive() {
+        let r = DetRng::seed_from_u64(42);
+        let mut a1 = r.fork("topology");
+        let mut a2 = r.fork("topology");
+        let mut b = r.fork("workload");
+        for _ in 0..50 {
+            assert_eq!(a1.next_u64(), a2.next_u64(), "same label, same stream");
+        }
+        let mut a3 = r.fork("topology");
+        assert_ne!(a3.next_u64(), b.next_u64(), "labels split the stream");
+    }
+
+    #[test]
+    fn fork_does_not_advance_the_parent() {
+        let mut forked = DetRng::seed_from_u64(7);
+        let _ = forked.fork("child");
+        let _ = forked.fork("other-child");
+        let mut plain = DetRng::seed_from_u64(7);
+        for _ in 0..20 {
+            assert_eq!(forked.next_u64(), plain.next_u64());
+        }
+    }
+
+    #[test]
+    fn fork_depends_on_parent_position() {
+        // A fork taken after the parent has advanced sees a different
+        // state, so scenario generators can fork per case.
+        let mut r = DetRng::seed_from_u64(9);
+        let mut before = r.fork("inj");
+        let _ = r.next_u64();
+        let mut after = r.fork("inj");
+        assert_ne!(before.next_u64(), after.next_u64());
+    }
+
+    #[test]
+    fn fork_reference_vector() {
+        // Pinned so scenario corpora stay stable: a change to the fork
+        // derivation silently regenerates every seeded simulation.
+        let mut c = DetRng::seed_from_u64(1234567).fork("topology");
+        assert_eq!(c.next_u64(), 10123597795009909944);
     }
 
     #[test]

@@ -39,4 +39,12 @@ DP_SHARDS=4 cargo test --release --workspace -q
 # Eighth pass composes sharding with the intra-shard worker pool: each of
 # 2 shards fires large batches on 2 chunk workers.
 DP_SHARDS=2 DP_THREADS=2 cargo test --release --workspace -q
+# Fault-injection sweep: 32 generated scenarios through the dp-sim
+# invariant battery (digest determinism, graph well-formedness, verdict
+# invariance, restart transparency, duplicate invisibility), once under
+# the default configuration and once with sharding and the worker pool as
+# the process-wide default. Failing seeds are ddmin-shrunk into
+# tests/corpus/ automatically.
+cargo run --release -p dp-bench --bin repro -- sim --seeds 32
+DP_SHARDS=2 DP_THREADS=2 cargo run --release -p dp-bench --bin repro -- sim --seeds 32
 cargo clippy --workspace --all-targets -- -D warnings

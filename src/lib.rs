@@ -19,6 +19,9 @@
 //!   alignment loop, constraint repair, and `Δ_{B→G}`;
 //! * [`sdn`] — the OpenFlow network model, scenarios SDN1–SDN4, and the
 //!   campus-network experiment;
+//! * [`sim`] — the seeded fault-injection simulation harness generating
+//!   hundreds of diagnosis scenarios and holding them to an invariant
+//!   battery;
 //! * [`mapreduce`] — WordCount in declarative and instrumented-imperative
 //!   form, scenarios MR1/MR2;
 //! * [`netcore`] — a NetCore-style policy front-end.
@@ -54,6 +57,7 @@ pub use dp_netcore as netcore;
 pub use dp_provenance as provenance;
 pub use dp_replay as replay;
 pub use dp_sdn as sdn;
+pub use dp_sim as sim;
 pub use dp_types as types;
 
 pub use diffprov_core::{DiffProv, Failure, QueryEvent, Report, Scenario};
