@@ -530,6 +530,26 @@ fn run_enginebench(opts: BenchOpts) {
     let million =
         engine_bench::shard_bench(opts.entries, 200, &counts, 1).expect("million-entry leg runs");
     print_shard_curve(&million);
+    banner("Engine: provenance backends (graph vs annotations, 100k entries)");
+    let prov = engine_bench::prov_bench(100_000, 400, 200).expect("prov bench runs");
+    println!(
+        "  live records: graph {} vs annotations {} -> {:.1}x reduction",
+        prov.graph_records,
+        prov.annot_records,
+        prov.reduction()
+    );
+    println!(
+        "  recording: graph {:.3}s vs annotations {:.3}s",
+        prov.graph_record_secs, prov.annot_record_secs
+    );
+    println!(
+        "  reconstruction: {} trees, avg {:.3}ms / max {:.3}ms per tree (extraction avg {:.3}ms), trees match: {}",
+        prov.trees_sampled,
+        prov.reconstruct_avg_ms,
+        prov.reconstruct_max_ms,
+        prov.extract_avg_ms,
+        prov.trees_match
+    );
     println!("  checking cross-mode parity on all scenarios...");
     let parity = engine_bench::scenario_parity().expect("parity runs");
     for p in &parity {
@@ -538,7 +558,8 @@ fn run_enginebench(opts: BenchOpts) {
             p.name, p.good_vertexes, p.bad_vertexes, p.identical
         );
     }
-    let json = engine_bench::to_json(&b, &l, &f, &shard, &rate, Some(&million), &parity);
+    let json =
+        engine_bench::to_json(&b, &l, &f, &shard, &rate, Some(&million), Some(&prov), &parity);
     std::fs::write("BENCH_engine.json", &json).expect("BENCH_engine.json is writable");
     println!("  wrote BENCH_engine.json");
     assert!(
@@ -550,6 +571,12 @@ fn run_enginebench(opts: BenchOpts) {
             && million.streams_identical
             && parity.iter().all(|p| p.identical),
         "engine modes disagree"
+    );
+    assert!(prov.trees_match, "provenance backends disagree on sampled trees");
+    assert!(
+        prov.reduction() >= 5.0,
+        "annotation store only {:.1}x smaller than the graph",
+        prov.reduction()
     );
 }
 

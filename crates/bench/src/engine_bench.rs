@@ -222,6 +222,160 @@ pub fn engine_bench(min_entries: usize, background_packets: usize) -> Result<Eng
     })
 }
 
+/// Result of the provenance-backend benchmark: the campus workload
+/// recorded into the full temporal graph vs. the compact annotation
+/// store, plus the price of reconstructing proof trees on demand.
+#[derive(Clone, Debug)]
+pub struct ProvBenchResult {
+    /// Configured forwarding/ACL entries in the campus network.
+    pub entries: usize,
+    /// Background packets streamed through the network.
+    pub background_packets: usize,
+    /// Provenance records held live by the graph backend at quiescence:
+    /// every vertex of the temporal graph plus its episode-index entries
+    /// and extra-support references. The graph is append-only, so this is
+    /// also its peak.
+    pub graph_records: u64,
+    /// Records held live by the annotation backend: one annotation per
+    /// episode plus the body references of report-mode derivations.
+    pub annot_records: u64,
+    /// Wall time of the replay recording into the graph (seconds).
+    pub graph_record_secs: f64,
+    /// Wall time of the replay recording into the annotation store
+    /// (seconds).
+    pub annot_record_secs: f64,
+    /// Proof trees sampled for the reconstruction-latency measurement.
+    pub trees_sampled: usize,
+    /// Mean on-demand reconstruction latency per tree (milliseconds).
+    pub reconstruct_avg_ms: f64,
+    /// Worst sampled reconstruction latency (milliseconds).
+    pub reconstruct_max_ms: f64,
+    /// Mean graph-extraction latency over the same trees (milliseconds) —
+    /// the price the graph backend pays for the same query.
+    pub extract_avg_ms: f64,
+    /// Whether every sampled reconstruction rendered byte-identically to
+    /// the graph extraction.
+    pub trees_match: bool,
+}
+
+impl ProvBenchResult {
+    /// Graph records over annotation records — how much smaller the
+    /// compact backend's live state is (the §6.4 storage argument; the
+    /// acceptance bar is ≥5x on the 100 k campus leg).
+    pub fn reduction(&self) -> f64 {
+        self.graph_records as f64 / (self.annot_records.max(1)) as f64
+    }
+}
+
+/// The provenance-backend benchmark: one campus replay per backend, then
+/// `samples` proof trees reconstructed from annotations and cross-checked
+/// against graph extraction, with per-tree latency.
+pub fn prov_bench(
+    min_entries: usize,
+    background_packets: usize,
+    samples: usize,
+) -> Result<ProvBenchResult> {
+    use dp_provenance::{extract_tree, reconstruct_tree, AnnotRecorder, GraphRecorder};
+    use dp_types::TupleRef;
+
+    let per_bulk = 16 * 15;
+    let cfg = CampusConfig {
+        bulk_entries_per_router: min_entries / per_bulk + 1,
+        background_packets,
+        // A long-running network updates its state: four rounds of route
+        // withdrawal/re-advertisement and traffic turnover. Every cycle
+        // costs the graph a DELETE/UNDERIVE + DISAPPEAR and a fresh
+        // INSERT/DERIVE + APPEAR + EXIST chain per affected tuple; the
+        // annotation store closes the old interval in place and adds one
+        // record for the new episode.
+        update_churn_rounds: 4,
+        ..Default::default()
+    };
+    let c = campus(&cfg);
+    let exec = &c.scenario.bad_exec;
+
+    let run = |sink_is_graph: bool| -> Result<(Option<dp_provenance::ProvGraph>, Option<dp_provenance::AnnotationStore>, f64)> {
+        let tracer = Tracer::aggregate_only();
+        if sink_is_graph {
+            let mut eng = Engine::new(Arc::clone(&exec.program), GraphRecorder::new());
+            eng.set_unbatched(false);
+            eng.set_threads(1);
+            eng.set_tracer(tracer.clone());
+            exec.log.schedule_into(&mut eng, None)?;
+            eng.run()?;
+            let secs = tracer.aggregate().total_secs("engine.run");
+            Ok((Some(eng.into_sink().finish()), None, secs))
+        } else {
+            let mut eng = Engine::new(
+                Arc::clone(&exec.program),
+                AnnotRecorder::new(Arc::clone(&exec.program)),
+            );
+            eng.set_unbatched(false);
+            eng.set_threads(1);
+            eng.set_tracer(tracer.clone());
+            exec.log.schedule_into(&mut eng, None)?;
+            eng.run()?;
+            let secs = tracer.aggregate().total_secs("engine.run");
+            Ok((None, Some(eng.into_sink().finish()), secs))
+        }
+    };
+    let (graph, _, graph_record_secs) = run(true)?;
+    let (_, store, annot_record_secs) = run(false)?;
+    let graph = graph.expect("graph leg ran");
+    let store = store.expect("annot leg ran");
+
+    // Sample query points evenly across every episode of every tuple the
+    // graph saw, and time reconstruction against extraction on each.
+    let mut points: Vec<(TupleRef, u64)> = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut graph_index_records = 0u64;
+    for v in graph.vertices() {
+        let tref = TupleRef::new(v.node.clone(), Arc::clone(&v.tuple));
+        if !seen.insert(tref.clone()) {
+            continue;
+        }
+        for ep in graph.episodes(&tref) {
+            graph_index_records += 1 + ep.extra_support.len() as u64;
+            points.push((tref.clone(), ep.start));
+        }
+    }
+    let stride = (points.len() / samples.max(1)).max(1);
+    let mut recon_total = 0.0f64;
+    let mut recon_max = 0.0f64;
+    let mut extract_total = 0.0f64;
+    let mut sampled = 0usize;
+    let mut trees_match = true;
+    for (tref, at) in points.iter().step_by(stride).take(samples) {
+        let t0 = std::time::Instant::now();
+        let got = reconstruct_tree(&store, tref, *at);
+        let recon = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = std::time::Instant::now();
+        let want = extract_tree(&graph, tref, *at);
+        extract_total += t1.elapsed().as_secs_f64() * 1e3;
+        recon_total += recon;
+        recon_max = recon_max.max(recon);
+        sampled += 1;
+        trees_match &= match (&want, &got) {
+            (Some(w), Some(g)) => w.render() == g.render(),
+            (None, None) => true,
+            _ => false,
+        };
+    }
+    Ok(ProvBenchResult {
+        entries: c.entry_count,
+        background_packets,
+        graph_records: graph.stats().total() + graph_index_records,
+        annot_records: store.stats().total(),
+        graph_record_secs,
+        annot_record_secs,
+        trees_sampled: sampled,
+        reconstruct_avg_ms: recon_total / sampled.max(1) as f64,
+        reconstruct_max_ms: recon_max,
+        extract_avg_ms: extract_total / sampled.max(1) as f64,
+        trees_match,
+    })
+}
+
 /// One point on the shard-scaling curve: the campus replay at a fixed
 /// shard count.
 #[derive(Clone, Debug)]
@@ -647,6 +801,7 @@ fn shard_section(s: &mut String, key: &str, r: &ShardBenchResult) {
 
 /// Renders the benchmark results as a JSON document (hand-rolled; the
 /// workspace builds offline, without serde).
+#[allow(clippy::too_many_arguments)]
 pub fn to_json(
     bench: &EngineBenchResult,
     load: &LoadBenchResult,
@@ -654,6 +809,7 @@ pub fn to_json(
     shard: &ShardBenchResult,
     rate: &ShardBenchResult,
     million: Option<&ShardBenchResult>,
+    prov: Option<&ProvBenchResult>,
     parity: &[ScenarioParity],
 ) -> String {
     let mut s = String::new();
@@ -770,6 +926,39 @@ pub fn to_json(
     if let Some(m) = million {
         shard_section(&mut s, "million_entry", m);
     }
+    if let Some(p) = prov {
+        s.push_str("  \"provenance_backend\": {\n");
+        s.push_str(&format!("    \"entries\": {},\n", p.entries));
+        s.push_str(&format!(
+            "    \"background_packets\": {},\n",
+            p.background_packets
+        ));
+        s.push_str(&format!("    \"graph_records\": {},\n", p.graph_records));
+        s.push_str(&format!("    \"annot_records\": {},\n", p.annot_records));
+        s.push_str(&format!("    \"reduction\": {:.2},\n", p.reduction()));
+        s.push_str(&format!(
+            "    \"graph_record_secs\": {:.6},\n",
+            p.graph_record_secs
+        ));
+        s.push_str(&format!(
+            "    \"annot_record_secs\": {:.6},\n",
+            p.annot_record_secs
+        ));
+        s.push_str(&format!("    \"trees_sampled\": {},\n", p.trees_sampled));
+        s.push_str(&format!(
+            "    \"reconstruct_avg_ms\": {:.4},\n",
+            p.reconstruct_avg_ms
+        ));
+        s.push_str(&format!(
+            "    \"reconstruct_max_ms\": {:.4},\n",
+            p.reconstruct_max_ms
+        ));
+        s.push_str(&format!(
+            "    \"extract_avg_ms\": {:.4},\n",
+            p.extract_avg_ms
+        ));
+        s.push_str(&format!("    \"trees_match\": {}\n  }},\n", p.trees_match));
+    }
     s.push_str("  \"parity\": [\n");
     for (i, p) in parity.iter().enumerate() {
         s.push_str(&format!(
@@ -844,7 +1033,20 @@ mod tests {
                 assert_eq!(p.cross_shard_msgs, 0);
             }
         }
-        let json = to_json(&b, &l, &f, &s, &s, Some(&s), &[]);
+        let p = prov_bench(2_000, 10, 50).expect("prov bench runs");
+        assert!(p.trees_sampled > 0);
+        assert!(p.trees_match, "sampled reconstructions diverge");
+        assert!(
+            p.reduction() >= 5.0,
+            "annotation store only {:.1}x smaller ({} vs {})",
+            p.reduction(),
+            p.graph_records,
+            p.annot_records
+        );
+        let json = to_json(&b, &l, &f, &s, &s, Some(&s), Some(&p), &[]);
+        assert!(json.contains("\"provenance_backend\""));
+        assert!(json.contains("\"reconstruct_avg_ms\""));
+        assert!(json.contains("\"reduction\""));
         assert!(json.contains("\"streams_identical\": true"));
         assert!(json.contains("\"fib_lookup\""));
         assert!(json.contains("\"entries\""));

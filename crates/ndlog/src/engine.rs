@@ -603,6 +603,7 @@ enum Action {
         node: NodeId,
         tuple: Arc<Tuple>,
         rule: Sym,
+        fired_at: LogicalTime,
         body: Vec<TupleRef>,
         trigger: usize,
     },
@@ -1863,9 +1864,10 @@ impl<S: ProvenanceSink> Engine<S> {
                     node,
                     tuple,
                     rule,
+                    fired_at,
                     body,
                     trigger,
-                } => self.do_insert_derived(node, tuple, rule, body, trigger)?,
+                } => self.do_insert_derived(node, tuple, rule, fired_at, body, trigger)?,
             }
             // Batch boundary: the next event (if any) carries a different
             // timestamp, so the current delta batch is complete. (The
@@ -2043,6 +2045,7 @@ impl<S: ProvenanceSink> Engine<S> {
         node: NodeId,
         tuple: Arc<Tuple>,
         rule: Sym,
+        fired_at: LogicalTime,
         body: Vec<TupleRef>,
         trigger: usize,
     ) -> Result<()> {
@@ -2094,6 +2097,7 @@ impl<S: ProvenanceSink> Engine<S> {
             node: node.clone(),
             tuple: Arc::clone(&tuple),
             rule,
+            fired_at,
             body,
             trigger,
             redundant: was_present,
@@ -2707,6 +2711,7 @@ impl FireCtx<'_> {
                     node: em.node,
                     tuple: head,
                     rule: native.name(),
+                    fired_at: now,
                     body: em.body,
                     trigger: 0,
                 },
@@ -2882,6 +2887,7 @@ impl FireCtx<'_> {
                     node: head_node,
                     tuple: head,
                     rule: rule.name.clone(),
+                    fired_at: now,
                     body,
                     trigger: trigger_idx,
                 },
@@ -2993,6 +2999,7 @@ impl FireCtx<'_> {
                     node: head_node,
                     tuple: head,
                     rule: rule.name.clone(),
+                    fired_at: now,
                     body,
                     trigger: 0,
                 },

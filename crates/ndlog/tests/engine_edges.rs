@@ -1209,3 +1209,79 @@ fn mid_schedule_restart_replays_the_stream_suffix() {
         );
     }
 }
+
+/// A tuple deleted and re-derived inside one delivery batch — the support
+/// swap that forces a mid-batch flush — must close and re-open an episode
+/// in *both* provenance backends, with matching intervals and a fresh
+/// annotation record (the new cause, not the dead one). The reconstructed
+/// trees of both episodes must match graph extraction.
+#[test]
+fn same_batch_support_swap_opens_a_fresh_annotation_episode() {
+    use dp_provenance::{extract_tree, reconstruct_tree, AnnotRecorder, CauseAnn, GraphRecorder};
+
+    let mut reg = SchemaRegistry::new();
+    reg.declare(Schema::new(
+        "a",
+        TableKind::MutableBase,
+        [("x", FieldType::Int), ("y", FieldType::Int)],
+    ));
+    reg.declare(Schema::new("d", TableKind::Derived, [("v", FieldType::Int)]));
+    let program: Arc<Program> = Program::builder(reg)
+        .rules_text("r d(@N, X) :- a(@N, X, _).")
+        .unwrap()
+        .build()
+        .unwrap();
+
+    let n = NodeId::new("n");
+    let ops = [
+        (false, 1u64, tuple!("a", 1, 1)), // d(1) appears, supported by a(1,1)
+        (true, 10, tuple!("a", 1, 1)),    // same due: the only support dies ...
+        (false, 10, tuple!("a", 1, 2)),   // ... and a replacement re-derives d(1)
+    ];
+    let mut graph_eng = Engine::new(Arc::clone(&program), GraphRecorder::new());
+    let mut annot_eng = Engine::new(Arc::clone(&program), AnnotRecorder::new(Arc::clone(&program)));
+    for &(delete, due, ref tup) in &ops {
+        if delete {
+            graph_eng.schedule_delete(due, n.clone(), tup.clone()).unwrap();
+            annot_eng.schedule_delete(due, n.clone(), tup.clone()).unwrap();
+        } else {
+            graph_eng.schedule_insert(due, n.clone(), tup.clone()).unwrap();
+            annot_eng.schedule_insert(due, n.clone(), tup.clone()).unwrap();
+        }
+    }
+    graph_eng.run().unwrap();
+    annot_eng.run().unwrap();
+    let graph = graph_eng.into_sink().finish();
+    let store = annot_eng.into_sink().finish();
+
+    let d = TupleRef::new(n, tuple!("d", 1));
+    let graph_eps: Vec<(u64, Option<u64>)> =
+        graph.episodes(&d).iter().map(|e| (e.start, e.end)).collect();
+    let annot_eps = store.episodes(&d);
+    assert_eq!(graph_eps.len(), 2, "the swap must close and re-open d(1)");
+    assert_eq!(
+        graph_eps,
+        annot_eps.iter().map(|e| (e.start, e.end)).collect::<Vec<_>>(),
+        "episode intervals diverge between the backends"
+    );
+    assert!(annot_eps[0].end.is_some() && annot_eps[1].end.is_none());
+    // Both episodes carry the derivation annotation (fresh record each),
+    // at the same height, and both reconstruct exactly.
+    for ep in annot_eps {
+        assert!(
+            matches!(ep.cause, CauseAnn::Fired { ref rule, .. } if rule.as_str() == "r"),
+            "episode cause is not the firing of r: {ep:?}"
+        );
+        assert_eq!(ep.height, 1);
+        assert_eq!(
+            extract_tree(&graph, &d, ep.start).unwrap().render(),
+            reconstruct_tree(&store, &d, ep.start).unwrap().render()
+        );
+    }
+    // The two proofs differ: the fresh episode leans on the replacement
+    // support, not the dead one.
+    let first = reconstruct_tree(&store, &d, annot_eps[0].start).unwrap().render();
+    let second = reconstruct_tree(&store, &d, annot_eps[1].start).unwrap().render();
+    assert_ne!(first, second, "fresh episode re-used the dead proof");
+    assert!(second.contains("a(1,2)"), "{second}");
+}

@@ -279,6 +279,7 @@ impl ProvGraph {
                 node,
                 tuple,
                 rule,
+                fired_at: _,
                 body,
                 trigger,
                 redundant,

@@ -19,6 +19,7 @@ use std::collections::BTreeSet;
 use dp_types::TupleRef;
 
 use crate::graph::{ProvGraph, VertexKind};
+use crate::tree::ProvTree;
 
 /// Checks every structural invariant of `g`, returning a human-readable
 /// description of each violation (empty means the graph is well-formed).
@@ -139,6 +140,121 @@ pub fn well_formedness_violations(g: &ProvGraph) -> Vec<String> {
                     "episode of {tref} points at a {} vertex instead of an EXIST",
                     other.tag()
                 )),
+            }
+        }
+    }
+    out
+}
+
+/// Checks the structural invariants of an extracted or reconstructed
+/// provenance *tree*: the same vertex grammar as the graph (EXIST → one
+/// APPEAR → one INSERT or DERIVE, DERIVE children all EXISTs, leaves bare),
+/// plus tree-specific rules — parent/child links mutually consistent, the
+/// root parentless, every EXIST sharing its tuple and time with its APPEAR,
+/// and each DERIVE's body EXIST intervals covering the derivation time.
+/// Reconstructed trees (the annotation backend) must pass this checker
+/// byte-for-byte as often as extracted ones do.
+pub fn tree_well_formedness_violations(tree: &ProvTree) -> Vec<String> {
+    let mut out = Vec::new();
+    if tree.is_empty() {
+        out.push("tree has no nodes".to_string());
+        return out;
+    }
+    if tree.root().parent.is_some() {
+        out.push("root node has a parent".to_string());
+    }
+    for (i, n) in tree.nodes().iter().enumerate() {
+        for &c in &n.children {
+            if c >= tree.len() {
+                out.push(format!("node {i} has out-of-range child {c}"));
+            } else if tree.node(c).parent != Some(i) {
+                out.push(format!(
+                    "node {i} lists child {c}, but that child's parent is {:?}",
+                    tree.node(c).parent
+                ));
+            }
+        }
+        if n.children.iter().any(|&c| c >= tree.len()) {
+            continue;
+        }
+        let label = format!("{} {}@{} t={}", n.kind.tag(), n.tuple, n.node, n.time);
+        match &n.kind {
+            VertexKind::Exist { end } => {
+                if end.is_some_and(|e| e <= n.time) {
+                    out.push(format!("{label}: EXIST interval ends at {end:?}, before it starts"));
+                }
+                if n.children.len() != 1 {
+                    out.push(format!(
+                        "{label}: EXIST has {} children, expected 1",
+                        n.children.len()
+                    ));
+                } else {
+                    let a = tree.node(n.children[0]);
+                    if !matches!(a.kind, VertexKind::Appear) {
+                        out.push(format!("{label}: EXIST child is {}, expected APPEAR", a.kind.tag()));
+                    } else if a.tuple != n.tuple || a.node != n.node || a.time != n.time {
+                        out.push(format!(
+                            "{label}: APPEAR child disagrees ({} {}@{} t={})",
+                            a.kind.tag(),
+                            a.tuple,
+                            a.node,
+                            a.time
+                        ));
+                    }
+                }
+            }
+            VertexKind::Appear => {
+                if n.children.len() != 1 {
+                    out.push(format!(
+                        "{label}: APPEAR has {} children, expected 1",
+                        n.children.len()
+                    ));
+                } else {
+                    let c = tree.node(n.children[0]);
+                    if !matches!(c.kind, VertexKind::Insert | VertexKind::Derive { .. }) {
+                        out.push(format!(
+                            "{label}: APPEAR child is {}, expected INSERT or DERIVE",
+                            c.kind.tag()
+                        ));
+                    }
+                }
+            }
+            VertexKind::Derive { trigger, .. } => {
+                if *trigger >= n.children.len() && !n.children.is_empty() {
+                    out.push(format!(
+                        "{label}: trigger index {trigger} out of range for {} children",
+                        n.children.len()
+                    ));
+                }
+                for &c in &n.children {
+                    let b = tree.node(c);
+                    match &b.kind {
+                        VertexKind::Exist { end } => {
+                            if b.time > n.time || end.is_some_and(|e| e <= n.time) {
+                                out.push(format!(
+                                    "{label}: body EXIST {}@{} [{}, {:?}) does not cover the \
+                                     derivation time",
+                                    b.tuple, b.node, b.time, end
+                                ));
+                            }
+                        }
+                        other => out.push(format!(
+                            "{label}: DERIVE child is {}, expected EXIST",
+                            other.tag()
+                        )),
+                    }
+                }
+            }
+            VertexKind::Insert | VertexKind::Delete | VertexKind::Underive { .. } => {
+                if !n.children.is_empty() {
+                    out.push(format!(
+                        "{label}: leaf has {} children, expected none",
+                        n.children.len()
+                    ));
+                }
+            }
+            VertexKind::Disappear => {
+                out.push(format!("{label}: DISAPPEAR never occurs in extracted trees"));
             }
         }
     }

@@ -10,15 +10,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod annot;
 pub mod diff;
 pub mod graph;
 pub mod invariants;
 pub mod tree;
 pub mod whynot;
 
+pub use annot::{
+    reconstruct_tree, reconstruct_tree_latest, AnnotRecorder, AnnotStats, AnnotationStore,
+    CauseAnn, EpisodeAnn,
+};
 pub use diff::{plain_tree_diff, ybang_answer_size, PlainDiff, VertexSig};
 pub use graph::{Episode, GraphRecorder, GraphStats, ProvGraph, Vertex, VertexId, VertexKind};
-pub use invariants::{check_well_formed, well_formedness_violations};
+pub use invariants::{
+    check_well_formed, tree_well_formedness_violations, well_formedness_violations,
+};
 pub use tree::{
     extract_tree, extract_tree_latest, tuple_view, ProvTree, TreeIdx, TreeNode, TupleNode,
     TupleTree,

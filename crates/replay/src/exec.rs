@@ -9,12 +9,69 @@
 
 use std::sync::Arc;
 
-use dp_ndlog::{Engine, EngineSnapshot, HashSink, NullSink, Program, ProvenanceSink, TupleChange};
-use dp_provenance::{extract_tree, extract_tree_latest, GraphRecorder, ProvGraph, ProvTree};
+use dp_ndlog::{
+    Engine, EngineSnapshot, HashSink, NullSink, Program, ProvEvent, ProvenanceSink, TupleChange,
+};
+use dp_provenance::{
+    extract_tree, extract_tree_latest, reconstruct_tree, reconstruct_tree_latest, AnnotRecorder,
+    AnnotationStore, GraphRecorder, ProvGraph, ProvTree,
+};
 use dp_trace::{Class, Tracer};
 use dp_types::{LogicalTime, NodeId, Result, Tuple, TupleRef};
 
 use crate::log::{BaseOp, EventLog};
+
+/// Which provenance backend a replay records into: the full temporal
+/// graph, or the compact annotation store with on-demand proof-tree
+/// reconstruction. Both answer `query`/`query_at` with byte-identical
+/// trees; they differ in memory footprint and query latency.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ProvBackend {
+    /// Record the append-only [`ProvGraph`]; queries extract trees.
+    #[default]
+    Graph,
+    /// Record per-episode annotations; queries reconstruct trees by
+    /// re-running rule bodies top-down.
+    Annot,
+}
+
+impl ProvBackend {
+    /// The process-wide default: the `DP_PROV` environment variable
+    /// (`graph` or `annot`), read once, defaulting to [`ProvBackend::Graph`].
+    pub fn default_from_env() -> ProvBackend {
+        static BACKEND: std::sync::OnceLock<ProvBackend> = std::sync::OnceLock::new();
+        *BACKEND.get_or_init(|| match std::env::var("DP_PROV").as_deref() {
+            Ok("annot") => ProvBackend::Annot,
+            _ => ProvBackend::Graph,
+        })
+    }
+}
+
+/// The sink a replaying engine records into: one of the two provenance
+/// backends behind a single [`ProvenanceSink`] face, so `Engine` stays
+/// monomorphic over the replay layer.
+pub enum BackendRecorder {
+    /// Full-graph recording.
+    Graph(GraphRecorder),
+    /// Compact annotation recording.
+    Annot(AnnotRecorder),
+}
+
+impl ProvenanceSink for BackendRecorder {
+    fn record(&mut self, event: ProvEvent) {
+        match self {
+            BackendRecorder::Graph(g) => g.record(event),
+            BackendRecorder::Annot(a) => a.record(event),
+        }
+    }
+
+    fn record_batch(&mut self, events: &mut Vec<ProvEvent>) {
+        match self {
+            BackendRecorder::Graph(g) => g.record_batch(events),
+            BackendRecorder::Annot(a) => a.record_batch(events),
+        }
+    }
+}
 
 /// A program plus the logged base events of one run.
 #[derive(Clone)]
@@ -56,19 +113,54 @@ pub struct Execution {
     /// clones share one event stream, so the UPDATETREE replays of a
     /// cloned execution land in the same trace as the original's.
     pub tracer: Tracer,
+    /// The provenance backend every replay of this execution records into.
+    /// Defaults to the `DP_PROV` environment variable (see
+    /// [`ProvBackend::default_from_env`]). Both backends answer queries
+    /// with byte-identical trees; graph-dependent callers (whole-graph
+    /// statistics, episode enumeration) should pin [`ProvBackend::Graph`].
+    pub provenance_backend: ProvBackend,
 }
 
-/// The outcome of a replay: a quiescent engine plus the provenance graph
-/// recorded during re-execution.
+/// The outcome of a replay: a quiescent engine plus the provenance
+/// recorded during re-execution (graph or annotation store, depending on
+/// the execution's backend).
 pub struct Replayed {
     /// The engine at quiescence (final state; usable for existence checks).
-    pub engine: Engine<GraphRecorder>,
+    pub engine: Engine<BackendRecorder>,
 }
 
 impl Replayed {
-    /// The reconstructed provenance graph.
+    /// The recorded provenance graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the replay recorded into the annotation backend
+    /// (`DP_PROV=annot`): there is no graph to return. Callers that need
+    /// whole-graph access must pin `provenance_backend = ProvBackend::Graph`
+    /// on their execution.
     pub fn graph(&self) -> &ProvGraph {
-        &self.engine.sink().graph
+        match self.engine.sink() {
+            BackendRecorder::Graph(g) => &g.graph,
+            BackendRecorder::Annot(_) => panic!(
+                "replay recorded into the annotation backend (DP_PROV=annot); \
+                 pin ProvBackend::Graph on the execution for graph access"
+            ),
+        }
+    }
+
+    /// The recorded annotation store.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the replay recorded into the graph backend.
+    pub fn annotations(&self) -> &AnnotationStore {
+        match self.engine.sink() {
+            BackendRecorder::Annot(a) => &a.store,
+            BackendRecorder::Graph(_) => panic!(
+                "replay recorded into the graph backend; \
+                 pin ProvBackend::Annot on the execution for annotation access"
+            ),
+        }
     }
 
     /// The logical time at quiescence.
@@ -81,20 +173,28 @@ impl Replayed {
         self.engine.lookup(node, tuple).is_some()
     }
 
-    /// Extracts the provenance tree of `root` as of the final state.
+    /// The provenance tree of `root` as of the final state — extracted
+    /// from the graph, or reconstructed from annotations; the two are
+    /// byte-identical (see `annot_differential.rs`).
     pub fn query(&self, root: &TupleRef) -> Option<ProvTree> {
         let now = self.now();
         let span = self.extract_span(now);
-        let tree = extract_tree(self.graph(), root, now);
+        let tree = match self.engine.sink() {
+            BackendRecorder::Graph(g) => extract_tree(&g.graph, root, now),
+            BackendRecorder::Annot(a) => reconstruct_tree(&a.store, root, now),
+        };
         close_extract_span(span, now, tree.as_ref());
         tree
     }
 
-    /// Extracts the provenance tree of `root` as of `at` (temporal query;
-    /// tolerates tuples that have since disappeared).
+    /// The provenance tree of `root` as of `at` (temporal query; tolerates
+    /// tuples that have since disappeared).
     pub fn query_at(&self, root: &TupleRef, at: LogicalTime) -> Option<ProvTree> {
         let span = self.extract_span(at);
-        let tree = extract_tree_latest(self.graph(), root, at);
+        let tree = match self.engine.sink() {
+            BackendRecorder::Graph(g) => extract_tree_latest(&g.graph, root, at),
+            BackendRecorder::Annot(a) => reconstruct_tree_latest(&a.store, root, at),
+        };
         close_extract_span(span, at, tree.as_ref());
         tree
     }
@@ -134,6 +234,7 @@ impl Execution {
             threads: 0,
             shards: 0,
             tracer: Tracer::disabled(),
+            provenance_backend: ProvBackend::default_from_env(),
         }
     }
 
@@ -156,13 +257,21 @@ impl Execution {
         }
     }
 
-    /// The recorder for a replaying engine: shares the execution's tracer
-    /// so batched provenance folds show up in the same trace.
-    fn recorder(&self) -> GraphRecorder {
-        if self.tracer.is_enabled() {
-            GraphRecorder::with_tracer(self.tracer.clone())
-        } else {
-            GraphRecorder::new()
+    /// The recorder for a replaying engine: the execution's chosen backend,
+    /// sharing the execution's tracer so batched provenance folds show up
+    /// in the same trace.
+    fn recorder(&self) -> BackendRecorder {
+        match self.provenance_backend {
+            ProvBackend::Graph => BackendRecorder::Graph(if self.tracer.is_enabled() {
+                GraphRecorder::with_tracer(self.tracer.clone())
+            } else {
+                GraphRecorder::new()
+            }),
+            ProvBackend::Annot => BackendRecorder::Annot(if self.tracer.is_enabled() {
+                AnnotRecorder::with_tracer(Arc::clone(&self.program), self.tracer.clone())
+            } else {
+                AnnotRecorder::new(Arc::clone(&self.program))
+            }),
         }
     }
 
@@ -245,6 +354,7 @@ impl Execution {
             threads: self.threads,
             shards: self.shards,
             tracer: self.tracer.clone(),
+            provenance_backend: self.provenance_backend,
         };
         clone.replay()
     }
@@ -432,10 +542,36 @@ mod tests {
 
     fn execution() -> Execution {
         let mut exec = Execution::new(program());
+        // These tests inspect the recorded graph directly; pin the graph
+        // backend so they hold under a DP_PROV=annot environment too.
+        exec.provenance_backend = ProvBackend::Graph;
         exec.log.insert(0, "n1", tuple!("cfg", 10));
         exec.log.insert(5, "n1", tuple!("in", 1));
         exec.log.insert(9, "n1", tuple!("in", 2));
         exec
+    }
+
+    #[test]
+    fn annotation_backend_answers_identical_queries() {
+        let graph = execution();
+        let mut annot = execution();
+        annot.provenance_backend = ProvBackend::Annot;
+        let g = graph.replay().unwrap();
+        let a = annot.replay().unwrap();
+        assert_eq!(g.now(), a.now());
+        let n = NodeId::new("n1");
+        for x in [11, 12] {
+            let root = TupleRef::new(n.clone(), tuple!("out", x));
+            assert_eq!(
+                g.query(&root).expect("graph tree").render(),
+                a.query(&root).expect("annot tree").render()
+            );
+            assert_eq!(
+                g.query_at(&root, 7).map(|t| t.render()),
+                a.query_at(&root, 7).map(|t| t.render())
+            );
+        }
+        assert!(a.annotations().stats().total() > 0);
     }
 
     #[test]

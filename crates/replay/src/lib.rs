@@ -14,6 +14,8 @@ pub mod exec;
 pub mod log;
 pub mod storage;
 
-pub use exec::{apply_changes, Checkpoint, CheckpointStore, Execution, Replayed};
+pub use exec::{
+    apply_changes, BackendRecorder, Checkpoint, CheckpointStore, Execution, ProvBackend, Replayed,
+};
 pub use log::{BaseEvent, BaseOp, EventLog};
 pub use storage::StorageModel;

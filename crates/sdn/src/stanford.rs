@@ -41,6 +41,15 @@ pub struct CampusConfig {
     pub faults_off_path: usize,
     /// Background packets streamed through the network.
     pub background_packets: usize,
+    /// Rounds of route/traffic update churn after the initial load: each
+    /// round withdraws the bulk shadow routes and the background packets
+    /// and re-issues them a beat later. Behaviourally neutral for the
+    /// probes (the shadows mirror their aggregates and churn settles
+    /// before the probe times), but it cycles every affected episode —
+    /// the long-running-network regime where an append-only provenance
+    /// graph keeps growing while episode annotations stay one record per
+    /// lifetime. At most 25 rounds fit before the probe window.
+    pub update_churn_rounds: usize,
 }
 
 impl Default for CampusConfig {
@@ -52,6 +61,7 @@ impl Default for CampusConfig {
             faults_on_path: 10,
             faults_off_path: 10,
             background_packets: 100,
+            update_churn_rounds: 0,
         }
     }
 }
@@ -123,6 +133,8 @@ pub fn campus(cfg: &CampusConfig) -> Campus {
     let any = cidr("0.0.0.0/0");
     let mut rid = 1_000i64;
     let mut entry_count = 0usize;
+    let mut churn_entries: Vec<dp_types::Tuple> = Vec::new();
+    let mut churn_packets: Vec<(NodeId, dp_types::Tuple)> = Vec::new();
     let push = |exec: &mut Execution, e| {
         exec.log.insert(T_CONFIG, ctl.clone(), e);
     };
@@ -149,7 +161,11 @@ pub fn campus(cfg: &CampusConfig) -> Campus {
             for j in 0..cfg.bulk_entries_per_router {
                 let sub = Prefix::new(zone.addr() | ((j as u32 & 0xff) << 8), 24)
                     .expect("static prefix");
-                push(&mut exec, cfg_entry(rid, r, 6, any, sub, port));
+                let e = cfg_entry(rid, r, 6, any, sub, port);
+                if cfg.update_churn_rounds > 0 {
+                    churn_entries.push(e.clone());
+                }
+                push(&mut exec, e);
                 rid += 1;
                 entry_count += 1;
             }
@@ -204,11 +220,35 @@ pub fn campus(cfg: &CampusConfig) -> Campus {
         let dst = dz.addr() | rng.gen_range_u32(1, 0xffff);
         let proto = if rng.gen_bool(0.8) { 6 } else { 17 };
         let len = [64i64, 512, 1500][rng.gen_range_usize(0, 3)];
-        exec.log.insert(
-            T_TRAFFIC + b as u64,
-            NodeId::new(s_owner),
-            pkt_in(500_000 + b as i64, src, dst, proto, len),
+        let p = pkt_in(500_000 + b as i64, src, dst, proto, len);
+        if cfg.update_churn_rounds > 0 {
+            churn_packets.push((NodeId::new(s_owner), p.clone()));
+        }
+        exec.log.insert(T_TRAFFIC + b as u64, NodeId::new(s_owner), p);
+    }
+
+    // Update churn: withdraw and re-issue the shadow routes and the
+    // background packets in spaced rounds between the traffic window and
+    // the probes. Each cycle closes the affected episodes and opens fresh
+    // ones without changing what the probes observe.
+    if cfg.update_churn_rounds > 0 {
+        let t_churn = (T_TRAFFIC + cfg.background_packets as u64 + 50).max(2_000);
+        assert!(
+            t_churn + cfg.update_churn_rounds as u64 * 100 < T_GOOD,
+            "update churn would spill into the probe window"
         );
+        for round in 0..cfg.update_churn_rounds {
+            let t_del = t_churn + round as u64 * 100;
+            let t_re = t_del + 50;
+            for e in &churn_entries {
+                exec.log.delete(t_del, ctl.clone(), e.clone());
+                exec.log.insert(t_re, ctl.clone(), e.clone());
+            }
+            for (n, p) in &churn_packets {
+                exec.log.delete(t_del, n.clone(), p.clone());
+                exec.log.insert(t_re, n.clone(), p.clone());
+            }
+        }
     }
 
     // The probe packets: H1 sits in oz3's zone (172.18.0.0/16).

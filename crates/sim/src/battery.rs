@@ -23,6 +23,11 @@
 //! 6. **Duplicate invisibility** — a duplicated packet is absorbed by
 //!    idempotent base insertion: dropping the `DupPacket` injections from
 //!    the schedule must not change the bad execution's digest.
+//! 7. **Reconstruction equivalence** — the verdict-invariance leg also
+//!    runs the diagnosis with the compact annotation backend pinned
+//!    (`ProvBackend::Annot`), where every proof tree is *reconstructed*
+//!    by re-running rule bodies instead of extracted from a recorded
+//!    graph; the verdict must be identical to the graph backend's.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -31,7 +36,7 @@ use diffprov_core::{DiffProv, QueryEvent};
 use dp_ndlog::testsupport::EngineConfig;
 use dp_ndlog::{Engine, ProvEvent, VecSink};
 use dp_provenance::well_formedness_violations;
-use dp_replay::{BaseOp, EventLog, Execution};
+use dp_replay::{BaseOp, EventLog, Execution, ProvBackend};
 use dp_sdn::deliver_at;
 use dp_types::{LogicalTime, Result};
 
@@ -144,6 +149,10 @@ pub fn check_scenario(sc: &SimScenario) -> BatteryReport {
     // --- 2 & 3. Graph well-formedness and deliveries ---------------------
     type Deliveries = BTreeMap<i64, BTreeSet<String>>;
     let replayed = |exec: &Execution| -> Result<(Deliveries, Vec<String>)> {
+        // Whole-graph access (vertex walk + well-formedness) needs the
+        // explicit graph, regardless of any ambient `DP_PROV=annot`.
+        let mut exec = exec.clone();
+        exec.provenance_backend = ProvBackend::Graph;
         let r = exec.replay()?;
         let graph_violations = well_formedness_violations(r.graph());
         let mut deliv: BTreeMap<i64, BTreeSet<String>> = BTreeMap::new();
@@ -254,6 +263,28 @@ pub fn check_scenario(sc: &SimScenario) -> BatteryReport {
                 e
             };
             configs.push(("shards-2".to_string(), sharded(&sc.good), sharded(&sc.bad)));
+            // Reconstruction equivalence: pin the annotation backend, so
+            // every tree the diagnosis consumes is reconstructed on demand
+            // instead of extracted from a recorded graph. The verdict must
+            // not move (and the graph-backend rows above double as the
+            // reference whenever `DP_PROV=annot` is ambient).
+            let pinned = |exec: &Execution, backend: ProvBackend| {
+                let mut e = exec.clone();
+                e.unbatched = false;
+                e.threads = 1;
+                e.provenance_backend = backend;
+                e
+            };
+            for (label, backend) in [
+                ("graph-backend", ProvBackend::Graph),
+                ("annot-reconstruction", ProvBackend::Annot),
+            ] {
+                configs.push((
+                    label.to_string(),
+                    pinned(&sc.good, backend),
+                    pinned(&sc.bad, backend),
+                ));
+            }
             for (label, good, bad) in &configs {
                 match DiffProv::default().diagnose(good, &good_event, bad, &bad_event) {
                     Ok(r) => {

@@ -39,6 +39,15 @@ DP_SHARDS=4 cargo test --release --workspace -q
 # Eighth pass composes sharding with the intra-shard worker pool: each of
 # 2 shards fires large batches on 2 chunk workers.
 DP_SHARDS=2 DP_THREADS=2 cargo test --release --workspace -q
+# Ninth pass with the compact annotation provenance backend as the
+# replay-wide default: every diagnosis reconstructs its proof trees from
+# episode annotations instead of reading the materialized graph (suites
+# that inspect graph internals pin ProvBackend::Graph explicitly).
+DP_PROV=annot cargo test --release --workspace -q
+# Tenth pass composes the annotation backend with sharded + pooled
+# evaluation, so reconstruction is also exercised against the merged
+# multi-shard provenance stream.
+DP_PROV=annot DP_SHARDS=2 DP_THREADS=2 cargo test --release --workspace -q
 # Fault-injection sweep: 32 generated scenarios through the dp-sim
 # invariant battery (digest determinism, graph well-formedness, verdict
 # invariance, restart transparency, duplicate invisibility), once under
