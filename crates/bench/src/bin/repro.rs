@@ -550,6 +550,27 @@ fn run_enginebench(opts: BenchOpts) {
         prov.extract_avg_ms,
         prov.trees_match
     );
+    banner("Engine: durable layered store (spill, kill, recover)");
+    let durable =
+        engine_bench::durable_bench(100_000, 400, 8_192).expect("durable bench runs");
+    println!(
+        "  {} base events sealed into {} layer files ({} B) + {} checkpoints ({} B), {:.2} B/event on disk",
+        durable.events,
+        durable.layer_files,
+        durable.layer_bytes,
+        durable.checkpoint_files,
+        durable.checkpoint_bytes,
+        durable.bytes_per_event()
+    );
+    println!(
+        "  spill {:.3}s; recovery (newest checkpoint + {} tail events) {:.3}s vs cold full replay {:.3}s -> {:.1}x, digest match: {}",
+        durable.spill_secs,
+        durable.tail_events,
+        durable.recovery_secs,
+        durable.cold_replay_secs,
+        durable.recovery_speedup(),
+        durable.digest_match
+    );
     println!("  checking cross-mode parity on all scenarios...");
     let parity = engine_bench::scenario_parity().expect("parity runs");
     for p in &parity {
@@ -558,8 +579,17 @@ fn run_enginebench(opts: BenchOpts) {
             p.name, p.good_vertexes, p.bad_vertexes, p.identical
         );
     }
-    let json =
-        engine_bench::to_json(&b, &l, &f, &shard, &rate, Some(&million), Some(&prov), &parity);
+    let json = engine_bench::to_json(
+        &b,
+        &l,
+        &f,
+        &shard,
+        &rate,
+        Some(&million),
+        Some(&prov),
+        Some(&durable),
+        &parity,
+    );
     std::fs::write("BENCH_engine.json", &json).expect("BENCH_engine.json is writable");
     println!("  wrote BENCH_engine.json");
     assert!(
@@ -571,6 +601,10 @@ fn run_enginebench(opts: BenchOpts) {
             && million.streams_identical
             && parity.iter().all(|p| p.identical),
         "engine modes disagree"
+    );
+    assert!(
+        durable.digest_match,
+        "durable recovery digest diverged from the crash-free reference"
     );
     assert!(prov.trees_match, "provenance backends disagree on sampled trees");
     assert!(

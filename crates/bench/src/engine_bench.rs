@@ -376,6 +376,117 @@ pub fn prov_bench(
     })
 }
 
+/// Result of the durable-store benchmark: the campus workload sealed into
+/// on-disk layer files with durable checkpoints, then "killed" and
+/// recovered from the directory alone. All byte figures are real file
+/// sizes, not storage-model estimates.
+#[derive(Clone, Debug)]
+pub struct DurableBenchResult {
+    /// Configured forwarding/ACL entries in the campus network.
+    pub entries: usize,
+    /// Background packets streamed through the network.
+    pub background_packets: usize,
+    /// Base events sealed into the layer stack.
+    pub events: u64,
+    /// Immutable layer files written.
+    pub layer_files: usize,
+    /// Durable checkpoint files written.
+    pub checkpoint_files: usize,
+    /// Total on-disk bytes of the layer files.
+    pub layer_bytes: u64,
+    /// Total on-disk bytes of the checkpoint files.
+    pub checkpoint_bytes: u64,
+    /// Wall time of the spill: the checkpointing reference replay that
+    /// seals every layer and writes every checkpoint (seconds).
+    pub spill_secs: f64,
+    /// Wall time of recovery: reopen the store from disk (checksum-verify
+    /// every file), restore the newest checkpoint and replay the on-disk
+    /// tail (seconds).
+    pub recovery_secs: f64,
+    /// Wall time of a checkpoint-free recovery over the same store —
+    /// reopen plus a full replay of the whole layer stack (seconds).
+    pub cold_replay_secs: f64,
+    /// Provenance events past the newest checkpoint — what recovery
+    /// actually re-evaluates.
+    pub tail_events: u64,
+    /// Provenance events in the full stream.
+    pub stream_events: u64,
+    /// Whether the recovered stream digest is bit-identical to the
+    /// crash-free reference run.
+    pub digest_match: bool,
+}
+
+impl DurableBenchResult {
+    /// Real on-disk layer bytes per base event.
+    pub fn bytes_per_event(&self) -> f64 {
+        self.layer_bytes as f64 / (self.events.max(1)) as f64
+    }
+
+    /// Cold full-replay recovery time over checkpointed recovery time —
+    /// what the durable checkpoints buy at restart.
+    pub fn recovery_speedup(&self) -> f64 {
+        self.cold_replay_secs / self.recovery_secs.max(1e-12)
+    }
+}
+
+/// The durable-store benchmark: spill the campus workload to disk with
+/// checkpoints every `checkpoint_every` base events, forget all in-memory
+/// state, and time the recovery path against a cold full replay.
+pub fn durable_bench(
+    min_entries: usize,
+    background_packets: usize,
+    checkpoint_every: usize,
+) -> Result<DurableBenchResult> {
+    use dp_replay::DurableStore;
+
+    let per_bulk = 16 * 15;
+    let cfg = CampusConfig {
+        bulk_entries_per_router: min_entries / per_bulk + 1,
+        background_packets,
+        ..Default::default()
+    };
+    let c = campus(&cfg);
+    let exec = &c.scenario.bad_exec;
+
+    let t0 = std::time::Instant::now();
+    let (store, reference) = exec.spill_temp(checkpoint_every)?;
+    let spill_secs = t0.elapsed().as_secs_f64();
+
+    let tail_events = store
+        .latest_checkpoint()
+        .map_or(reference.1, |cp| reference.1 - cp.count);
+
+    // Recovery: reopen from the directory alone (checksums verified on
+    // open), restore the newest checkpoint, replay the on-disk tail.
+    let t1 = std::time::Instant::now();
+    let reopened = DurableStore::open(store.dir())?;
+    let recovered = exec.recovered_stream_digest(&reopened)?;
+    let recovery_secs = t1.elapsed().as_secs_f64();
+
+    // The checkpoint-free baseline: reopen and replay the whole stack.
+    let cold = exec.spill_temp(0)?;
+    let t2 = std::time::Instant::now();
+    let cold_reopened = DurableStore::open(cold.0.dir())?;
+    let cold_digest = exec.recovered_stream_digest(&cold_reopened)?;
+    let cold_replay_secs = t2.elapsed().as_secs_f64();
+
+    Ok(DurableBenchResult {
+        entries: c.entry_count,
+        background_packets,
+        events: store.event_count(),
+        layer_files: store.layer_count(),
+        checkpoint_files: store.checkpoint_count(),
+        layer_bytes: store.layer_bytes(),
+        checkpoint_bytes: store.checkpoint_bytes(),
+        spill_secs,
+        recovery_secs,
+        cold_replay_secs,
+        tail_events,
+        stream_events: reference.1,
+        digest_match: recovered == reference && cold_digest == cold.1,
+    })
+}
+
 /// One point on the shard-scaling curve: the campus replay at a fixed
 /// shard count.
 #[derive(Clone, Debug)]
@@ -810,6 +921,7 @@ pub fn to_json(
     rate: &ShardBenchResult,
     million: Option<&ShardBenchResult>,
     prov: Option<&ProvBenchResult>,
+    durable: Option<&DurableBenchResult>,
     parity: &[ScenarioParity],
 ) -> String {
     let mut s = String::new();
@@ -959,6 +1071,48 @@ pub fn to_json(
         ));
         s.push_str(&format!("    \"trees_match\": {}\n  }},\n", p.trees_match));
     }
+    if let Some(d) = durable {
+        s.push_str("  \"durable_store\": {\n");
+        s.push_str(&format!("    \"entries\": {},\n", d.entries));
+        s.push_str(&format!(
+            "    \"background_packets\": {},\n",
+            d.background_packets
+        ));
+        s.push_str(&format!("    \"events\": {},\n", d.events));
+        s.push_str(&format!("    \"layer_files\": {},\n", d.layer_files));
+        s.push_str(&format!(
+            "    \"checkpoint_files\": {},\n",
+            d.checkpoint_files
+        ));
+        s.push_str(&format!("    \"layer_bytes\": {},\n", d.layer_bytes));
+        s.push_str(&format!(
+            "    \"checkpoint_bytes\": {},\n",
+            d.checkpoint_bytes
+        ));
+        s.push_str(&format!(
+            "    \"bytes_per_event\": {:.2},\n",
+            d.bytes_per_event()
+        ));
+        s.push_str(&format!("    \"spill_secs\": {:.6},\n", d.spill_secs));
+        s.push_str(&format!(
+            "    \"recovery_secs\": {:.6},\n",
+            d.recovery_secs
+        ));
+        s.push_str(&format!(
+            "    \"cold_replay_secs\": {:.6},\n",
+            d.cold_replay_secs
+        ));
+        s.push_str(&format!(
+            "    \"recovery_speedup\": {:.2},\n",
+            d.recovery_speedup()
+        ));
+        s.push_str(&format!("    \"tail_events\": {},\n", d.tail_events));
+        s.push_str(&format!("    \"stream_events\": {},\n", d.stream_events));
+        s.push_str(&format!(
+            "    \"digest_match\": {}\n  }},\n",
+            d.digest_match
+        ));
+    }
     s.push_str("  \"parity\": [\n");
     for (i, p) in parity.iter().enumerate() {
         s.push_str(&format!(
@@ -1043,7 +1197,20 @@ mod tests {
             p.graph_records,
             p.annot_records
         );
-        let json = to_json(&b, &l, &f, &s, &s, Some(&s), Some(&p), &[]);
+        let d = durable_bench(2_000, 10, 512).expect("durable bench runs");
+        assert!(d.events > 0);
+        assert!(d.layer_files > 0, "spill must seal layer files");
+        assert!(d.checkpoint_files > 0, "spill must write checkpoints");
+        assert!(d.layer_bytes > 0 && d.checkpoint_bytes > 0);
+        assert!(d.digest_match, "recovery digest diverged from reference");
+        assert!(
+            d.tail_events < d.stream_events,
+            "the newest checkpoint must cover a non-trivial prefix"
+        );
+        let json = to_json(&b, &l, &f, &s, &s, Some(&s), Some(&p), Some(&d), &[]);
+        assert!(json.contains("\"durable_store\""));
+        assert!(json.contains("\"recovery_secs\""));
+        assert!(json.contains("\"digest_match\": true"));
         assert!(json.contains("\"provenance_backend\""));
         assert!(json.contains("\"reconstruct_avg_ms\""));
         assert!(json.contains("\"reduction\""));

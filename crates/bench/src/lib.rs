@@ -80,6 +80,15 @@ mod tests {
     fn fig5_is_linear_and_under_ssd() {
         let cost = storage::packet_log_cost(2_000, 500).unwrap();
         assert!(cost.bytes_per_packet > 0.0);
+        // The real on-disk record is in the same ballpark as the model:
+        // codec framing and checksums cost something, but not multiples.
+        assert!(cost.disk_bytes_per_packet > 0.0);
+        assert!(
+            cost.disk_bytes_per_packet < cost.bytes_per_packet * 4.0,
+            "sealed layers cost {} B/packet vs modeled {}",
+            cost.disk_bytes_per_packet,
+            cost.bytes_per_packet
+        );
         let points = storage::fig5(&cost);
         for p in &points {
             assert!(p.within_ssd(), "{p}");
@@ -102,12 +111,18 @@ mod tests {
             .collect();
         // Per-packet record size is independent of the packet length.
         let b0 = costs[0].1.bytes_per_packet;
+        let d0 = costs[0].1.disk_bytes_per_packet;
         for (_, c) in &costs {
             assert!((c.bytes_per_packet - b0).abs() < 1e-9);
+            // Real sealed records are fixed-size too (header and payload
+            // fields don't depend on the packet length knob).
+            assert!((c.disk_bytes_per_packet - d0).abs() < 1e-9);
         }
         let points = storage::fig6(&costs);
         assert!(points[0].logging_rate > points[1].logging_rate);
         assert!(points[1].logging_rate > points[2].logging_rate);
+        assert!(points[0].disk_logging_rate > points[1].disk_logging_rate);
+        assert!(points[1].disk_logging_rate > points[2].disk_logging_rate);
     }
 
     /// Section 6.5: the MapReduce log holds metadata only — orders of

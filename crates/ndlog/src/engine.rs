@@ -128,6 +128,8 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+pub mod snapshot;
+
 use dp_trace::{Class, Tracer};
 use dp_types::{
     Error, LogicalTime, NodeId, Prefix, PrefixTrie, Result, ShardAssignment, Sym, TableKind,

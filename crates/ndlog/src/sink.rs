@@ -206,6 +206,18 @@ impl HashSink {
     pub fn digest(&self) -> u64 {
         self.digest
     }
+
+    /// Resumes the fold from a previously observed `(digest, count)` pair.
+    ///
+    /// The digest is a left fold over the stream, so a sink resumed from
+    /// the state recorded at event `count` and fed the remaining events
+    /// finishes with exactly the digest of the uninterrupted stream. This
+    /// is what lets a durable checkpoint carry its prefix's digest: the
+    /// recovery path replays only the tail yet still proves bit-identity
+    /// against a full in-memory run.
+    pub fn resume(digest: u64, count: u64) -> Self {
+        HashSink { count, digest }
+    }
 }
 
 impl ProvenanceSink for HashSink {

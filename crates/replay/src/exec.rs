@@ -19,6 +19,7 @@ use dp_provenance::{
 use dp_trace::{Class, Tracer};
 use dp_types::{LogicalTime, NodeId, Result, Tuple, TupleRef};
 
+use crate::layers::StoreMode;
 use crate::log::{BaseOp, EventLog};
 
 /// Which provenance backend a replay records into: the full temporal
@@ -119,6 +120,12 @@ pub struct Execution {
     /// with byte-identical trees; graph-dependent callers (whole-graph
     /// statistics, episode enumeration) should pin [`ProvBackend::Graph`].
     pub provenance_backend: ProvBackend,
+    /// Where this execution's replays read their base events from.
+    /// Defaults to the `DP_STORE` environment variable (see
+    /// [`StoreMode::default_from_env`]). [`StoreMode::Disk`] round-trips
+    /// every replay through a sealed on-disk layer stack; both modes
+    /// replay the identical provenance stream.
+    pub store_mode: StoreMode,
 }
 
 /// The outcome of a replay: a quiescent engine plus the provenance
@@ -235,6 +242,7 @@ impl Execution {
             shards: 0,
             tracer: Tracer::disabled(),
             provenance_backend: ProvBackend::default_from_env(),
+            store_mode: StoreMode::default_from_env(),
         }
     }
 
@@ -242,7 +250,7 @@ impl Execution {
     /// discipline, trie, threads, tracer) to a freshly built engine. Env
     /// defaults already on the engine are kept unless this execution
     /// overrides them.
-    fn configure<S: ProvenanceSink>(&self, engine: &mut Engine<S>) {
+    pub(crate) fn configure<S: ProvenanceSink>(&self, engine: &mut Engine<S>) {
         engine.set_naive_join(self.naive_join);
         engine.set_unbatched(self.unbatched || engine.unbatched());
         engine.set_no_trie(self.no_trie || engine.no_trie());
@@ -260,7 +268,7 @@ impl Execution {
     /// The recorder for a replaying engine: the execution's chosen backend,
     /// sharing the execution's tracer so batched provenance folds show up
     /// in the same trace.
-    fn recorder(&self) -> BackendRecorder {
+    pub(crate) fn recorder(&self) -> BackendRecorder {
         match self.provenance_backend {
             ProvBackend::Graph => BackendRecorder::Graph(if self.tracer.is_enabled() {
                 GraphRecorder::with_tracer(self.tracer.clone())
@@ -278,7 +286,7 @@ impl Execution {
     /// Opens a skeleton span around scheduling the log into an engine.
     /// The log is configuration-independent, so the span and its event
     /// count are deterministic.
-    fn schedule_span(&self) -> Option<dp_trace::Span> {
+    pub(crate) fn schedule_span(&self) -> Option<dp_trace::Span> {
         self.tracer.is_enabled().then(|| {
             self.tracer
                 .span("replay.schedule", Class::Skeleton, None)
@@ -295,7 +303,7 @@ impl Execution {
         let mut engine = Engine::new(Arc::clone(&self.program), self.recorder());
         self.configure(&mut engine);
         let span = self.schedule_span();
-        self.log.schedule_into(&mut engine, until)?;
+        self.schedule_log(&mut engine, until)?;
         if let Some(span) = span {
             span.end(None, &[("events", self.log.len() as u64)]);
         }
@@ -309,7 +317,7 @@ impl Execution {
         let mut engine = Engine::new(Arc::clone(&self.program), NullSink);
         self.configure(&mut engine);
         let span = self.schedule_span();
-        self.log.schedule_into(&mut engine, None)?;
+        self.schedule_log(&mut engine, None)?;
         if let Some(span) = span {
             span.end(None, &[("events", self.log.len() as u64)]);
         }
@@ -331,7 +339,7 @@ impl Execution {
         let mut engine = Engine::new(Arc::clone(&self.program), HashSink::default());
         self.configure(&mut engine);
         let span = self.schedule_span();
-        self.log.schedule_into(&mut engine, None)?;
+        self.schedule_log(&mut engine, None)?;
         if let Some(span) = span {
             span.end(None, &[("events", self.log.len() as u64)]);
         }
@@ -355,6 +363,7 @@ impl Execution {
             shards: self.shards,
             tracer: self.tracer.clone(),
             provenance_backend: self.provenance_backend,
+            store_mode: self.store_mode,
         };
         clone.replay()
     }
@@ -369,13 +378,7 @@ impl Execution {
         let events = self.log.events();
         let mut i = 0;
         while i < events.len() {
-            let end = (i + every).min(events.len());
-            // Chunks must break on due-time boundaries, or the snapshot
-            // would split simultaneous events.
-            let mut end = end;
-            while end < events.len() && events[end].due == events[end - 1].due {
-                end += 1;
-            }
+            let end = chunk_end(&events, i, every);
             for e in &events[i..end] {
                 match e.op {
                     BaseOp::Insert => {
@@ -413,16 +416,23 @@ impl Execution {
     }
 
     /// Replays only the log suffix after the latest checkpoint with
-    /// `cut < from`, restoring engine state from the snapshot. The
+    /// `cut <= from`, restoring engine state from the snapshot. The
     /// recorded graph covers the suffix only — this is the "selective
     /// reconstruction" optimization the paper's query-time approach
     /// enables.
+    ///
+    /// The boundary is inclusive to match [`EventLog::retain_after`]'s
+    /// exclusive drop (`due <= cut`): after aging through a checkpoint's
+    /// cut, resuming *exactly at* that cut must pick the checkpoint whose
+    /// tail the log still holds. A strict bound here used to skip back to
+    /// the previous checkpoint and silently replay over the aged-out gap
+    /// (see `resume_exactly_at_a_checkpoint_cut_survives_aging`).
     pub fn replay_from_checkpoint(
         &self,
         store: &CheckpointStore,
         from: LogicalTime,
     ) -> Result<Replayed> {
-        match store.latest_before(from) {
+        match store.latest_at_or_before(from) {
             Some(cp) => {
                 let mut engine = Engine::restore(
                     Arc::clone(&self.program),
@@ -430,7 +440,7 @@ impl Execution {
                     self.recorder(),
                 )?;
                 self.configure(&mut engine);
-                for e in self.log.events() {
+                for e in self.log.events().iter() {
                     if e.due <= cp.cut {
                         continue;
                     }
@@ -449,6 +459,18 @@ impl Execution {
             None => self.replay(),
         }
     }
+}
+
+/// The end of the chunk starting at `i` with nominal length `every`,
+/// extended so chunks break only on due-time boundaries — a snapshot cut
+/// must never split simultaneous events.
+pub(crate) fn chunk_end(events: &[crate::log::BaseEvent], i: usize, every: usize) -> usize {
+    assert!(every > 0, "checkpoint interval must be positive");
+    let mut end = (i + every).min(events.len());
+    while end < events.len() && events[end].due == events[end - 1].due {
+        end += 1;
+    }
+    end
 }
 
 /// One checkpoint: all events with `due <= cut` are reflected in the
@@ -479,8 +501,27 @@ impl CheckpointStore {
     }
 
     /// The latest checkpoint strictly before `t`.
+    ///
+    /// Used by [`Execution::age_out`]: aging "up to `before`" must keep
+    /// the events a checkpoint *at* `before` would not cover for replays
+    /// resumed below it.
     pub fn latest_before(&self, t: LogicalTime) -> Option<&Checkpoint> {
         self.snaps.iter().rev().find(|c| c.cut < t)
+    }
+
+    /// The latest checkpoint at or before `t`.
+    ///
+    /// Used by [`Execution::replay_from_checkpoint`]: resumption is
+    /// inclusive so that resuming exactly at an aged-out cut lands on the
+    /// checkpoint covering the dropped prefix (and, as a bonus, skips a
+    /// pointless re-execution of the cut's own chunk).
+    pub fn latest_at_or_before(&self, t: LogicalTime) -> Option<&Checkpoint> {
+        self.snaps.iter().rev().find(|c| c.cut <= t)
+    }
+
+    /// The checkpoints in time order.
+    pub fn checkpoints(&self) -> &[Checkpoint] {
+        &self.snaps
     }
 }
 
@@ -495,7 +536,7 @@ impl CheckpointStore {
 pub fn apply_changes(log: &EventLog, changes: &[TupleChange], inject_at: LogicalTime) -> EventLog {
     let mut out = EventLog::new();
     let mut matched = vec![false; changes.len()];
-    'events: for e in log.events() {
+    'events: for e in log.events().iter() {
         for (ci, c) in changes.iter().enumerate() {
             if let Some(before) = &c.before {
                 if c.node == e.node && *before == e.tuple {
@@ -649,7 +690,11 @@ mod tests {
         let store = exec.build_checkpoints(2).unwrap();
         assert!(!store.is_empty());
         let n = NodeId::new("n1");
-        let fast = exec.replay_from_checkpoint(&store, 9).unwrap();
+        // Resume from between the cuts (5 and 9): the cut-5 snapshot is
+        // restored and the due-9 chunk replays as the suffix. Resuming at
+        // exactly 9 would pick the cut-9 checkpoint (inclusive boundary)
+        // and replay nothing.
+        let fast = exec.replay_from_checkpoint(&store, 7).unwrap();
         // Final state agrees with the full replay.
         assert!(fast.exists(&n, &tuple!("out", 12)));
         assert!(fast.exists(&n, &tuple!("out", 11)));
@@ -686,6 +731,72 @@ mod tests {
             full.exists(&n, &tuple!("out", 12)),
             resumed.exists(&n, &tuple!("out", 12))
         );
+    }
+
+    /// Regression fence for the `due == cut` off-by-one: `retain_after`
+    /// drops `due <= cut` while resumption used to pick strictly-earlier
+    /// checkpoints, so resuming *exactly at* an aged cut replayed over a
+    /// gap the log no longer held. Resuming at the cut must answer the
+    /// same before and after aging.
+    #[test]
+    fn resume_exactly_at_a_checkpoint_cut_survives_aging() {
+        let mut exec = execution();
+        let store = exec.build_checkpoints(2).unwrap();
+        let cut = store.checkpoints()[0].cut;
+        assert_eq!(cut, 5, "fixture: first chunk covers dues 0 and 5");
+        let n = NodeId::new("n1");
+        let before = exec.replay_from_checkpoint(&store, cut).unwrap();
+        let (cut_aged, dropped) = exec.age_out(&store, 9).unwrap();
+        assert_eq!(cut_aged, cut);
+        assert!(dropped > 0);
+        let after = exec.replay_from_checkpoint(&store, cut).unwrap();
+        for x in [11, 12] {
+            assert_eq!(
+                before.exists(&n, &tuple!("out", x)),
+                after.exists(&n, &tuple!("out", x)),
+                "state at out({x}) changed across aging"
+            );
+            assert!(after.exists(&n, &tuple!("out", x)));
+        }
+        assert_eq!(before.now(), after.now());
+    }
+
+    /// The other direction of the boundary: aging itself stays strict.
+    /// `age_out(store, t)` with `t` equal to a checkpoint's cut must pick
+    /// the checkpoint *before* it, keeping the events that replays resumed
+    /// below `t` still need.
+    #[test]
+    fn aging_at_a_cut_keeps_the_cut_chunk() {
+        let mut exec = execution();
+        let store = exec.build_checkpoints(1).unwrap();
+        let cuts: Vec<_> = store.checkpoints().iter().map(|c| c.cut).collect();
+        assert_eq!(cuts, [0, 5, 9], "fixture: one checkpoint per due");
+        let (cut, _) = exec.age_out(&store, 5).unwrap();
+        assert_eq!(cut, 0, "aging at cut 5 must stop at the checkpoint before it");
+        // The due-5 event is still in the log, so resuming below 5 works.
+        assert!(exec.log.events().iter().any(|e| e.due == 5));
+    }
+
+    /// Regression fence for the horizon bug at the execution level: age
+    /// out the entire log, then resumption at the horizon plus fresh
+    /// appends must keep the clock monotone (the horizon used to fall back
+    /// to 0, resuming from nothing).
+    #[test]
+    fn clock_stays_monotone_after_total_age_out() {
+        let mut exec = execution();
+        let store = exec.build_checkpoints(1).unwrap();
+        let full_clock = exec.replay().unwrap().now();
+        exec.age_out(&store, 100).unwrap();
+        assert!(exec.log.is_empty());
+        assert_eq!(exec.log.horizon(), 9, "horizon must hold at the aged cut");
+        let resumed = exec.replay_from_checkpoint(&store, exec.log.horizon()).unwrap();
+        assert_eq!(resumed.now(), full_clock, "resumption clock regressed");
+        // Fresh appends after the horizon replay on top of the checkpoint.
+        let n = NodeId::new("n1");
+        exec.log.insert(exec.log.horizon() + 1, n.clone(), tuple!("in", 3));
+        let grown = exec.replay_from_checkpoint(&store, 9).unwrap();
+        assert!(grown.now() > full_clock);
+        assert!(grown.exists(&n, &tuple!("out", 13)));
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Sealed, immutable on-disk layer files.
+//!
+//! A layer file holds the base events of **one node** over one due-time
+//! range, in replay order, mirroring how neon's pageserver seals an
+//! ephemeral open layer into immutable delta layers keyed by (key range,
+//! LSN range) — here the key is the node and the "LSN" is the logical due
+//! time. Once written a layer is never modified; compaction is simply
+//! sealing more layers.
+//!
+//! ## File format (`DPLY` version 1)
+//!
+//! ```text
+//! "DPLY" u16=1              header (magic + version)
+//! str    node               the node all events belong to
+//! u64    first_seq          global arrival index of the first record
+//! u64    min_due  u64 max_due
+//! u32    count
+//! count × { u64 seq, u64 due, u8 op, tuple }
+//! u64    fnv64(everything above)
+//! ```
+//!
+//! `seq` is each event's position in the log's replay order, assigned at
+//! seal time. Due ranges of different layers may overlap (per node and
+//! across nodes), so reads restore the global replay order with a k-way
+//! merge on `(due, seq)` — exactly the key the in-memory log sorts by, so
+//! a read through any layer arrangement is bit-identical to an in-memory
+//! replay. The whole file is checksummed and eagerly verified on open:
+//! truncation and bit rot surface as [`Error::Codec`] before any event is
+//! replayed, never as a panic mid-recovery.
+
+use std::path::{Path, PathBuf};
+
+use dp_types::codec::{fnv64, Dec, Enc};
+use dp_types::{Error, LogicalTime, NodeId, Result};
+
+use crate::log::{BaseEvent, BaseOp};
+
+/// Layer-file magic.
+pub const LAYER_MAGIC: &[u8; 4] = b"DPLY";
+/// Current layer-format version.
+pub const LAYER_VERSION: u16 = 1;
+
+/// One event as stored in a layer, tagged with its global replay position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeqEvent {
+    /// Position in the log's replay order (the merge key's tiebreaker).
+    pub seq: u64,
+    /// The event itself.
+    pub event: BaseEvent,
+}
+
+/// A sealed layer loaded back into memory, checksum-verified.
+#[derive(Clone, Debug)]
+pub struct Layer {
+    /// The node every event in this layer belongs to.
+    pub node: NodeId,
+    /// Smallest due time in the layer.
+    pub min_due: LogicalTime,
+    /// Largest due time in the layer.
+    pub max_due: LogicalTime,
+    /// First global sequence number in the layer.
+    pub first_seq: u64,
+    /// The events, in `(due, seq)` order.
+    pub events: Vec<SeqEvent>,
+    /// Size of the layer file in bytes.
+    pub file_bytes: u64,
+    /// Where the layer was read from (or written to).
+    pub path: PathBuf,
+}
+
+fn io_err(context: &'static str, path: &Path, e: std::io::Error) -> Error {
+    Error::Engine(format!("{context} {}: {e}", path.display()))
+}
+
+/// Encodes one node's slice of the replay order and writes it to `path`.
+/// `events` must be non-empty, all on one node, in `(due, seq)` order.
+pub fn write_layer(path: &Path, node: &NodeId, events: &[SeqEvent]) -> Result<Layer> {
+    assert!(!events.is_empty(), "a layer holds at least one event");
+    debug_assert!(events.iter().all(|e| e.event.node == *node));
+    debug_assert!(events
+        .windows(2)
+        .all(|w| (w[0].event.due, w[0].seq) < (w[1].event.due, w[1].seq)));
+    let mut e = Enc::new();
+    e.header(LAYER_MAGIC, LAYER_VERSION);
+    e.str(node.as_str());
+    e.u64(events[0].seq);
+    e.u64(events.iter().map(|s| s.event.due).min().unwrap_or(0));
+    e.u64(events.iter().map(|s| s.event.due).max().unwrap_or(0));
+    e.u32(events.len() as u32);
+    for s in events {
+        e.u64(s.seq);
+        e.u64(s.event.due);
+        e.u8(match s.event.op {
+            BaseOp::Insert => 0,
+            BaseOp::Delete => 1,
+        });
+        e.tuple(&s.event.tuple);
+    }
+    let sum = fnv64(e.bytes());
+    e.u64(sum);
+    let bytes = e.into_bytes();
+    std::fs::write(path, &bytes).map_err(|err| io_err("writing layer", path, err))?;
+    Ok(Layer {
+        node: node.clone(),
+        min_due: events.first().map_or(0, |s| s.event.due),
+        max_due: events.iter().map(|s| s.event.due).max().unwrap_or(0),
+        first_seq: events[0].seq,
+        events: events.to_vec(),
+        file_bytes: bytes.len() as u64,
+        path: path.to_path_buf(),
+    })
+}
+
+/// Reads a layer back, verifying the whole-file checksum before decoding
+/// a single record.
+pub fn read_layer(path: &Path) -> Result<Layer> {
+    let bytes = std::fs::read(path).map_err(|err| io_err("reading layer", path, err))?;
+    if bytes.len() < 8 {
+        return Err(Error::Codec {
+            context: "layer file",
+            detail: format!("{} is too short to hold a checksum", path.display()),
+        });
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let mut d = Dec::new(tail);
+    let stored = d.u64("layer checksum")?;
+    if fnv64(body) != stored {
+        return Err(Error::Codec {
+            context: "layer file",
+            detail: format!("checksum mismatch in {}", path.display()),
+        });
+    }
+    let mut d = Dec::new(body);
+    d.header(LAYER_MAGIC, LAYER_VERSION)?;
+    let node = NodeId::new(d.str("layer node")?);
+    let first_seq = d.u64("layer first-seq")?;
+    let min_due = d.u64("layer min-due")?;
+    let max_due = d.u64("layer max-due")?;
+    let count = d.u32("layer record count")?;
+    let mut events = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let seq = d.u64("record seq")?;
+        let due = d.u64("record due")?;
+        let op = match d.u8("record op")? {
+            0 => BaseOp::Insert,
+            1 => BaseOp::Delete,
+            other => {
+                return Err(Error::Codec {
+                    context: "record op",
+                    detail: format!("expected 0 or 1, found {other}"),
+                })
+            }
+        };
+        let tuple = d.tuple()?;
+        events.push(SeqEvent {
+            seq,
+            event: BaseEvent {
+                due,
+                node: node.clone(),
+                tuple,
+                op,
+            },
+        });
+    }
+    if !d.is_exhausted() {
+        return Err(Error::Codec {
+            context: "layer file",
+            detail: format!("{} trailing byte(s) before the checksum", d.remaining()),
+        });
+    }
+    Ok(Layer {
+        node,
+        min_due,
+        max_due,
+        first_seq,
+        events,
+        file_bytes: bytes.len() as u64,
+        path: path.to_path_buf(),
+    })
+}

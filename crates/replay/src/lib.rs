@@ -4,18 +4,22 @@
 //! a base-event [`log`] written at runtime, query-time provenance
 //! reconstruction by deterministic replay ([`exec`]), cloned replay with
 //! tuple changes applied (the UPDATETREE step of the algorithm), engine
-//! checkpoints for fast state reconstruction, and the [`storage`] cost
-//! model behind the Figure 5/6 experiments.
+//! checkpoints for fast state reconstruction, the durable [`layers`]
+//! store (sealed on-disk layer files plus durable checkpoints with real
+//! crash recovery), and the [`storage`] cost model behind the Figure 5/6
+//! experiments.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exec;
+pub mod layers;
 pub mod log;
 pub mod storage;
 
 pub use exec::{
     apply_changes, BackendRecorder, Checkpoint, CheckpointStore, Execution, ProvBackend, Replayed,
 };
-pub use log::{BaseEvent, BaseOp, EventLog};
+pub use layers::{DurableCheckpoint, DurableStore, Layer, SeqEvent, StoreMode};
+pub use log::{BaseEvent, BaseOp, EventLog, EventsView};
 pub use storage::StorageModel;

@@ -6,6 +6,18 @@
 //! derivations (and hence the provenance graph) deterministically at query
 //! time. This favors runtime performance: diagnostic queries take longer,
 //! but they are rare.
+//!
+//! Appends are O(1): the log buffers arrivals in arrival order and
+//! restores the replay order — stable sort by `due`, arrival order within
+//! a due — lazily, either in place ([`EventLog::normalize`]) or in the
+//! [`EventsView`] a read of a still-dirty log returns. The naive
+//! alternative (binary-search + `Vec::insert` per event) is O(n) per
+//! out-of-order arrival, which turned the reordered-install schedules
+//! dp-sim generates into quadratic ingest; [`EventLog::reorder_effort`]
+//! counts ordering work so the regression fence asserts effort, not wall
+//! time.
+
+use std::ops::Deref;
 
 use dp_types::{LogicalTime, NodeId, Result, Tuple};
 
@@ -32,11 +44,99 @@ pub struct BaseEvent {
     pub op: BaseOp,
 }
 
-/// An append-only log of base events, kept sorted by `due` (stable for
-/// equal times, preserving arrival order — determinism again).
-#[derive(Clone, Debug, Default)]
+/// An append-only log of base events, read back sorted by `due` (stable
+/// for equal times, preserving arrival order — determinism again).
+///
+/// Events are kept in arrival order internally; the sorted replay order is
+/// restored lazily. A stable sort preserves relative order of equal dues,
+/// and the buffer's order *is* arrival order (inductively: it holds for
+/// appends, and every sort preserves it within a due), so the lazy path
+/// reads back exactly what eager insertion-sort produced.
+#[derive(Clone, Debug)]
 pub struct EventLog {
     events: Vec<BaseEvent>,
+    /// True when `events` is already in replay order.
+    sorted: bool,
+    /// Largest `due` ever pushed (not reduced by aging).
+    max_due: LogicalTime,
+    /// Largest cut ever passed to [`EventLog::retain_after`]. The horizon
+    /// never regresses below this, even when aging empties the log.
+    aged_cut: LogicalTime,
+    /// Elements moved while maintaining replay order (one per sorted
+    /// element per in-place normalize). An effort counter for regression
+    /// tests: a linear-ish ingest keeps this O(n), the old per-push
+    /// `Vec::insert` scheme would have counted O(n²) shifts.
+    effort: u64,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog {
+            events: Vec::new(),
+            sorted: true,
+            max_due: 0,
+            aged_cut: 0,
+            effort: 0,
+        }
+    }
+}
+
+/// The events of an [`EventLog`] in replay order.
+///
+/// Borrows the log's buffer when it is already ordered; for a log with
+/// unsorted appends still pending, the view owns a sorted copy instead, so
+/// reads never require `&mut` access. Dereferences to `[BaseEvent]`.
+#[derive(Clone, Debug)]
+pub struct EventsView<'a>(ViewInner<'a>);
+
+#[derive(Clone, Debug)]
+enum ViewInner<'a> {
+    Borrowed(&'a [BaseEvent]),
+    Owned(Vec<BaseEvent>),
+}
+
+impl Deref for EventsView<'_> {
+    type Target = [BaseEvent];
+
+    fn deref(&self) -> &[BaseEvent] {
+        match &self.0 {
+            ViewInner::Borrowed(s) => s,
+            ViewInner::Owned(v) => v,
+        }
+    }
+}
+
+impl AsRef<[BaseEvent]> for EventsView<'_> {
+    fn as_ref(&self) -> &[BaseEvent] {
+        self
+    }
+}
+
+impl PartialEq for EventsView<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for EventsView<'_> {}
+
+impl PartialEq<[BaseEvent]> for EventsView<'_> {
+    fn eq(&self, other: &[BaseEvent]) -> bool {
+        **self == *other
+    }
+}
+
+impl<'a, 'b> IntoIterator for &'b EventsView<'a> {
+    type Item = &'b BaseEvent;
+    type IntoIter = std::slice::Iter<'b, BaseEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+fn sort_events(events: &mut [BaseEvent]) {
+    events.sort_by_key(|e| e.due); // sort_by_key is stable: arrival order within a due
 }
 
 impl EventLog {
@@ -46,8 +146,35 @@ impl EventLog {
     }
 
     /// The events in replay order.
-    pub fn events(&self) -> &[BaseEvent] {
-        &self.events
+    ///
+    /// Borrows when the log is already ordered (always true right after
+    /// [`EventLog::normalize`], or when every append arrived in order);
+    /// otherwise returns an owned sorted copy. Mutating paths should
+    /// normalize first so repeated reads stay allocation-free.
+    pub fn events(&self) -> EventsView<'_> {
+        if self.sorted {
+            EventsView(ViewInner::Borrowed(&self.events))
+        } else {
+            let mut copy = self.events.clone();
+            sort_events(&mut copy);
+            EventsView(ViewInner::Owned(copy))
+        }
+    }
+
+    /// Restores replay order in place, making subsequent [`EventLog::events`]
+    /// reads borrow. A no-op on an already-ordered log.
+    pub fn normalize(&mut self) {
+        if !self.sorted {
+            self.effort += self.events.len() as u64;
+            sort_events(&mut self.events);
+            self.sorted = true;
+        }
+    }
+
+    /// Elements moved so far to maintain replay order (see the struct
+    /// docs); asserted by regression tests instead of wall time.
+    pub fn reorder_effort(&self) -> u64 {
+        self.effort
     }
 
     /// Number of logged events.
@@ -60,15 +187,33 @@ impl EventLog {
         self.events.is_empty()
     }
 
-    /// The due time of the last event (0 for an empty log).
+    /// The replay horizon: the largest due time ever logged, floored at
+    /// the aged-out cut.
+    ///
+    /// The floor is what keeps resumption clocks monotone: after
+    /// [`EventLog::retain_after`] drops the *entire* tail, a horizon
+    /// computed from the remaining (empty) log would regress below the
+    /// checkpoint cut, and a replay resumed "at the horizon" would pick a
+    /// checkpoint older than the state the log already reflects.
     pub fn horizon(&self) -> LogicalTime {
-        self.events.last().map_or(0, |e| e.due)
+        self.aged_cut.max(self.max_due)
     }
 
-    /// Appends an event, keeping the log sorted by `due` (stable).
+    /// The largest cut ever aged out ([`EventLog::retain_after`]); 0 if
+    /// the log was never aged.
+    pub fn aged_cut(&self) -> LogicalTime {
+        self.aged_cut
+    }
+
+    /// Appends an event in O(1); replay order is restored lazily.
     pub fn push(&mut self, event: BaseEvent) {
-        let pos = self.events.partition_point(|e| e.due <= event.due);
-        self.events.insert(pos, event);
+        if let Some(last) = self.events.last() {
+            if event.due < last.due {
+                self.sorted = false;
+            }
+        }
+        self.max_due = self.max_due.max(event.due);
+        self.events.push(event);
     }
 
     /// Convenience: log an insertion.
@@ -92,7 +237,8 @@ impl EventLog {
     }
 
     /// Drops every event with `due <= cut`, returning how many were
-    /// removed.
+    /// removed. The cut is remembered: [`EventLog::horizon`] never
+    /// regresses below it.
     ///
     /// This is the aging mechanism of Section 6.5 ("the logs do not
     /// necessarily have to be maintained for an extensive period of time,
@@ -103,6 +249,7 @@ impl EventLog {
     pub fn retain_after(&mut self, cut: LogicalTime) -> usize {
         let before = self.events.len();
         self.events.retain(|e| e.due > cut);
+        self.aged_cut = self.aged_cut.max(cut);
         before - self.events.len()
     }
 
@@ -113,7 +260,7 @@ impl EventLog {
         engine: &mut dp_ndlog::Engine<S>,
         until: Option<LogicalTime>,
     ) -> Result<()> {
-        for e in &self.events {
+        for e in self.events().iter() {
             if let Some(t) = until {
                 if e.due > t {
                     break;
@@ -146,5 +293,63 @@ mod tests {
         assert_eq!(log.events()[2].tuple, tuple!("t", 1));
         assert_eq!(log.events()[3].tuple, tuple!("t", 3));
         assert_eq!(log.horizon(), 10);
+    }
+
+    #[test]
+    fn dirty_and_normalized_reads_agree() {
+        let mut log = EventLog::new();
+        for i in 0..100u64 {
+            log.insert(100 - i, "a", tuple!("t", i as i64));
+        }
+        let dirty: Vec<_> = log.events().iter().cloned().collect();
+        log.normalize();
+        let clean: Vec<_> = log.events().iter().cloned().collect();
+        assert_eq!(dirty, clean);
+        // Normalized logs hand out borrows; a second normalize is free.
+        let effort = log.reorder_effort();
+        log.normalize();
+        assert_eq!(log.reorder_effort(), effort);
+    }
+
+    /// Regression fence for the quadratic-ingest bug: a fully reversed
+    /// 50k-event ingest (the worst case for the old binary-search +
+    /// `Vec::insert` scheme, which shifts O(n) elements per push and would
+    /// have counted ~1.25e9 moves here) must stay linear-ish. Asserts the
+    /// effort counter, not wall time, so the fence is load-independent.
+    #[test]
+    fn reordered_ingest_stays_out_of_the_quadratic_regime() {
+        const N: u64 = 50_000;
+        let mut log = EventLog::new();
+        for i in 0..N {
+            log.insert(N - i, "a", tuple!("e", (i % 97) as i64));
+        }
+        log.normalize();
+        assert!(
+            log.reorder_effort() <= 4 * N,
+            "ordering effort {} exceeds the linear budget {}",
+            log.reorder_effort(),
+            4 * N
+        );
+        let events = log.events();
+        assert_eq!(events.len(), N as usize);
+        assert!(events.windows(2).all(|w| w[0].due <= w[1].due));
+    }
+
+    /// Regression fence for the horizon bug: aging out the entire log used
+    /// to make `horizon()` fall back to 0, regressing below the cut.
+    #[test]
+    fn horizon_survives_total_age_out() {
+        let mut log = EventLog::new();
+        log.insert(5, "a", tuple!("t", 1));
+        log.insert(9, "a", tuple!("t", 2));
+        assert_eq!(log.horizon(), 9);
+        let dropped = log.retain_after(9);
+        assert_eq!(dropped, 2);
+        assert!(log.is_empty());
+        assert_eq!(log.horizon(), 9, "horizon regressed below the aged cut");
+        assert_eq!(log.aged_cut(), 9);
+        // Fresh appends move the horizon forward, never backward.
+        log.insert(11, "a", tuple!("t", 3));
+        assert_eq!(log.horizon(), 11);
     }
 }

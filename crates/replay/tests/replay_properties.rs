@@ -52,7 +52,8 @@ fn storage_is_additive() {
         let mut expected = 0u64;
         for (i, &v) in values.iter().enumerate() {
             log.insert(i as u64, "n", tuple!("e", v));
-            let last = log.events().iter().find(|e| e.tuple == tuple!("e", v)).unwrap();
+            let events = log.events();
+            let last = events.iter().find(|e| e.tuple == tuple!("e", v)).unwrap();
             expected += model.event_bytes(last) as u64;
         }
         assert_eq!(model.log_bytes(&log), expected);

@@ -28,6 +28,11 @@
 //!    (`ProvBackend::Annot`), where every proof tree is *reconstructed*
 //!    by re-running rule bodies instead of extracted from a recorded
 //!    graph; the verdict must be identical to the graph backend's.
+//! 8. **Durable recovery** — the bad execution spilled to an on-disk
+//!    layered store, "killed", and recovered (newest durable checkpoint
+//!    restored + on-disk tail replayed) folds to exactly the crash-free
+//!    reference digest; and a checkpoint-free recovery through the layer
+//!    stack alone reproduces the uncut in-memory stream digest.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -36,7 +41,7 @@ use diffprov_core::{DiffProv, QueryEvent};
 use dp_ndlog::testsupport::EngineConfig;
 use dp_ndlog::{Engine, ProvEvent, VecSink};
 use dp_provenance::well_formedness_violations;
-use dp_replay::{BaseOp, EventLog, Execution, ProvBackend};
+use dp_replay::{BaseOp, DurableStore, EventLog, Execution, ProvBackend};
 use dp_sdn::deliver_at;
 use dp_types::{LogicalTime, Result};
 
@@ -368,6 +373,63 @@ pub fn check_scenario(sc: &SimScenario) -> BatteryReport {
         }
     }
 
+    // --- 8. Durable recovery ---------------------------------------------
+    match sc.bad.spill_temp(8) {
+        Ok((store, reference)) => {
+            // "Kill": recovery sees only the store directory.
+            match DurableStore::open(store.dir())
+                .and_then(|reopened| sc.bad.recovered_stream_digest(&reopened))
+            {
+                Ok(got) if got == reference => {}
+                Ok(got) => fail(
+                    "durable-recovery",
+                    format!(
+                        "seed {}: recovered digest {got:?} diverges from the \
+                         crash-free reference {reference:?}",
+                        sc.seed
+                    ),
+                    &mut report,
+                ),
+                Err(e) => fail(
+                    "durable-recovery",
+                    format!("seed {}: recovery failed: {e}", sc.seed),
+                    &mut report,
+                ),
+            }
+        }
+        Err(e) => fail(
+            "durable-recovery",
+            format!("seed {}: spill failed: {e}", sc.seed),
+            &mut report,
+        ),
+    }
+    // Checkpoint-free recovery reads the whole layer stack, so its digest
+    // must equal the uncut in-memory stream digest from leg 1.
+    match sc
+        .bad
+        .spill_temp(0)
+        .and_then(|(store, _)| sc.bad.recovered_stream_digest(&store))
+    {
+        Ok((digest, _)) => {
+            if digest != side_digest[1] {
+                fail(
+                    "durable-recovery",
+                    format!(
+                        "seed {}: layer-stack replay digest {digest} diverges from \
+                         the in-memory digest {}",
+                        sc.seed, side_digest[1]
+                    ),
+                    &mut report,
+                );
+            }
+        }
+        Err(e) => fail(
+            "durable-recovery",
+            format!("seed {}: layer-stack replay failed: {e}", sc.seed),
+            &mut report,
+        ),
+    }
+
     report
 }
 
@@ -457,7 +519,7 @@ fn schedule_range(
     after: Option<LogicalTime>,
     until: Option<LogicalTime>,
 ) -> Result<()> {
-    for e in log.events() {
+    for e in log.events().iter() {
         if after.is_some_and(|a| e.due <= a) {
             continue;
         }

@@ -34,6 +34,16 @@ pub enum Error {
     /// An expression could not be inverted during taint propagation
     /// (Section 4.5: e.g. a hash). The payload describes the computation.
     NonInvertible(String),
+    /// A durable byte stream failed to decode (truncation, a bad tag, a
+    /// checksum or version mismatch). `context` names the structure being
+    /// decoded; `detail` says what was wrong with the bytes. Decoders
+    /// return this — they never panic on corrupt input.
+    Codec {
+        /// The structure being decoded (e.g. "value", "layer header").
+        context: &'static str,
+        /// What was wrong with the bytes.
+        detail: String,
+    },
     /// A catch-all for engine-level failures with context attached.
     Engine(String),
 }
@@ -51,6 +61,9 @@ impl fmt::Display for Error {
             Error::UnknownTable(t) => write!(f, "unknown table {t}"),
             Error::Arith(msg) => write!(f, "arithmetic error: {msg}"),
             Error::NonInvertible(msg) => write!(f, "non-invertible computation: {msg}"),
+            Error::Codec { context, detail } => {
+                write!(f, "codec error decoding {context}: {detail}")
+            }
             Error::Engine(msg) => write!(f, "engine error: {msg}"),
         }
     }

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod error;
 pub mod prefix;
 pub mod rng;
@@ -32,6 +33,7 @@ pub mod trie;
 pub mod tuple;
 pub mod value;
 
+pub use codec::{fnv64, Dec, Enc, Fnv64, CODEC_VERSION};
 pub use error::{Error, Result};
 pub use prefix::Prefix;
 pub use rng::DetRng;

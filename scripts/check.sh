@@ -48,6 +48,14 @@ DP_PROV=annot cargo test --release --workspace -q
 # evaluation, so reconstruction is also exercised against the merged
 # multi-shard provenance stream.
 DP_PROV=annot DP_SHARDS=2 DP_THREADS=2 cargo test --release --workspace -q
+# Eleventh pass routes every replay through the durable layer stack
+# (DP_STORE=disk seals each schedule into on-disk layer files and merges
+# them back), composed with sharded + pooled evaluation; the differential
+# suites prove the disk path is byte-identical to the in-memory path.
+# The stores live in per-process tempdirs (dp-store-*) that are removed
+# on drop; sweep any leftovers from crashed runs afterwards.
+DP_STORE=disk DP_SHARDS=2 DP_THREADS=2 cargo test --release --workspace -q
+rm -rf "${TMPDIR:-/tmp}"/dp-store-* 2>/dev/null || true
 # Fault-injection sweep: 32 generated scenarios through the dp-sim
 # invariant battery (digest determinism, graph well-formedness, verdict
 # invariance, restart transparency, duplicate invisibility), once under
