@@ -6,7 +6,8 @@
 //! ```
 
 use dp_bench::{
-    ablation, complex, engine_bench, latency, query, storage, table1, trace_cmd, unsuitable,
+    ablation, complex, engine_bench, latency, metrics_cmd, query, storage, table1, trace_cmd,
+    unsuitable,
 };
 
 /// Knobs settable anywhere on the command line: `--entries N` scales
@@ -43,12 +44,21 @@ fn parse_flag(flag: &str, value: Option<&String>) -> usize {
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = BenchOpts::default();
+    let mut addr = String::from("127.0.0.1:9100");
     let mut args: Vec<String> = Vec::new();
     let mut i = 0;
     while i < raw.len() {
         match raw[i].as_str() {
             "--entries" => {
                 opts.entries = parse_flag("--entries", raw.get(i + 1));
+                i += 2;
+            }
+            "--addr" => {
+                let Some(a) = raw.get(i + 1) else {
+                    eprintln!("usage: repro -- [...] --addr <host:port>");
+                    std::process::exit(2);
+                };
+                addr = a.clone();
                 i += 2;
             }
             "--shards" => {
@@ -72,7 +82,7 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            cmd @ ("trace" | "stats") => {
+            cmd @ ("trace" | "stats" | "metrics" | "serve-metrics") => {
                 let Some(name) = args.get(i + 1) else {
                     eprintln!(
                         "usage: repro -- {cmd} <scenario>; scenarios: {}",
@@ -87,12 +97,17 @@ fn main() {
                     );
                     std::process::exit(2);
                 };
-                if cmd == "trace" {
-                    run_trace(&scenario);
-                } else {
-                    run_stats(&scenario);
+                match cmd {
+                    "trace" => run_trace(&scenario),
+                    "stats" => run_stats(&scenario),
+                    "metrics" => run_metrics(&scenario),
+                    _ => run_serve_metrics(&scenario, &addr),
                 }
                 i += 2;
+            }
+            "metrics-smoke" => {
+                run_metrics_smoke();
+                i += 1;
             }
             "sim" => {
                 run_sim(opts);
@@ -176,6 +191,36 @@ fn run_stats(scenario: &diffprov_core::Scenario) {
     );
 }
 
+fn run_metrics(scenario: &diffprov_core::Scenario) {
+    match metrics_cmd::one_shot(scenario) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("metrics {} failed: {e}", scenario.name);
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_serve_metrics(scenario: &diffprov_core::Scenario, addr: &str) {
+    banner(&format!(
+        "Serve: live /metrics endpoint while replaying {}",
+        scenario.name
+    ));
+    if let Err(e) = metrics_cmd::serve(scenario, addr) {
+        eprintln!("serve-metrics failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run_metrics_smoke() {
+    banner("Smoke: scrape a live /metrics endpoint under replay load");
+    let scenario = trace_cmd::find_scenario("SDN1").expect("SDN1 exists");
+    if let Err(e) = metrics_cmd::smoke(&scenario) {
+        eprintln!("metrics-smoke failed: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn dispatch(what: &str, opts: BenchOpts) {
     let run_all = what == "all";
     let mut ran = false;
@@ -225,7 +270,8 @@ fn dispatch(what: &str, opts: BenchOpts) {
             "unknown experiment {what:?}; available: all table1 fig5 fig6 fig7 fig8 \
              unsuitable latency mrstorage complex ablation enginebench \
              sim [--seeds N] [--entries N] [--shards N] \
-             trace <scenario> stats <scenario>"
+             trace <scenario> stats <scenario> metrics <scenario> \
+             serve-metrics <scenario> [--addr host:port] metrics-smoke"
         );
         std::process::exit(2);
     }
@@ -571,6 +617,18 @@ fn run_enginebench(opts: BenchOpts) {
         durable.recovery_speedup(),
         durable.digest_match
     );
+    banner("Engine: metrics subsystem overhead (enabled vs disabled)");
+    let overhead =
+        engine_bench::metrics_overhead_bench(100_000, 400, 3).expect("overhead bench runs");
+    println!(
+        "  disabled {:.3}s vs enabled {:.3}s -> {:.2}x ({} families, ~{} distinct flows), streams identical: {}",
+        overhead.disabled_secs,
+        overhead.enabled_secs,
+        overhead.overhead_ratio(),
+        overhead.metric_families,
+        overhead.distinct_flows,
+        overhead.streams_identical
+    );
     println!("  checking cross-mode parity on all scenarios...");
     let parity = engine_bench::scenario_parity().expect("parity runs");
     for p in &parity {
@@ -588,6 +646,7 @@ fn run_enginebench(opts: BenchOpts) {
         Some(&million),
         Some(&prov),
         Some(&durable),
+        Some(&overhead),
         &parity,
     );
     std::fs::write("BENCH_engine.json", &json).expect("BENCH_engine.json is writable");
@@ -599,6 +658,7 @@ fn run_enginebench(opts: BenchOpts) {
             && shard.streams_identical
             && rate.streams_identical
             && million.streams_identical
+            && overhead.streams_identical
             && parity.iter().all(|p| p.identical),
         "engine modes disagree"
     );

@@ -7,6 +7,7 @@
 
 use std::sync::Arc;
 
+use dp_metrics::Metrics;
 use dp_ndlog::{Engine, HashSink, Program, VecSink};
 use dp_trace::Tracer;
 use dp_replay::{BaseOp, Execution};
@@ -126,11 +127,13 @@ pub struct ScenarioParity {
 /// Runs `runs` times and reports the best time (the shared machines the
 /// benchmark runs on are noisy; the minimum is the least-perturbed run).
 ///
-/// Timing comes from a per-run aggregate-only tracer rather than a bespoke
-/// stopwatch: each run's seconds are the `engine.run` span total, so the
-/// BENCH legs are derived from the same aggregator the `repro -- trace`
-/// summary reads. Aggregate-only mode also overrides any `DP_TRACE` full
-/// default, so the benchmark never pays event buffering.
+/// Timing comes from a per-run private [`Metrics`] registry rather than a
+/// bespoke stopwatch: each run's seconds are the `dp_engine_run_seconds`
+/// histogram sum, so the BENCH legs are derived from the very same
+/// quantity a `/metrics` scrape reports — one producer, no double
+/// accounting between the trace aggregate and the registry. The engine's
+/// tracer is still pinned to aggregate-only so a `DP_TRACE` full default
+/// never makes the benchmark pay event buffering.
 fn timed_replay(
     exec: &Execution,
     naive: bool,
@@ -146,16 +149,26 @@ fn timed_replay(
         eng.set_unbatched(unbatched);
         eng.set_no_trie(no_trie);
         eng.set_threads(threads);
-        let tracer = Tracer::aggregate_only();
-        eng.set_tracer(tracer.clone());
+        eng.set_tracer(Tracer::aggregate_only());
+        let metrics = Metrics::enabled();
+        eng.set_metrics(metrics.clone());
         exec.log.schedule_into(&mut eng, None)?;
         eng.run()?;
-        let secs = tracer.aggregate().total_secs("engine.run");
+        let secs = run_seconds(&metrics);
         if best.as_ref().is_none_or(|(_, b)| secs < *b) {
             best = Some((eng, secs));
         }
     }
     Ok(best.expect("at least one run"))
+}
+
+/// The `dp_engine_run_seconds` total of a private per-run registry — the
+/// one timing source every BENCH leg reads.
+fn run_seconds(metrics: &Metrics) -> f64 {
+    metrics
+        .snapshot()
+        .histogram("dp_engine_run_seconds", &[])
+        .map_or(0.0, |h| h.sum_secs())
 }
 
 /// Runs the campus workload at benchmark scale in both join modes.
@@ -295,15 +308,16 @@ pub fn prov_bench(
     let exec = &c.scenario.bad_exec;
 
     let run = |sink_is_graph: bool| -> Result<(Option<dp_provenance::ProvGraph>, Option<dp_provenance::AnnotationStore>, f64)> {
-        let tracer = Tracer::aggregate_only();
+        let metrics = Metrics::enabled();
         if sink_is_graph {
             let mut eng = Engine::new(Arc::clone(&exec.program), GraphRecorder::new());
             eng.set_unbatched(false);
             eng.set_threads(1);
-            eng.set_tracer(tracer.clone());
+            eng.set_tracer(Tracer::aggregate_only());
+            eng.set_metrics(metrics.clone());
             exec.log.schedule_into(&mut eng, None)?;
             eng.run()?;
-            let secs = tracer.aggregate().total_secs("engine.run");
+            let secs = run_seconds(&metrics);
             Ok((Some(eng.into_sink().finish()), None, secs))
         } else {
             let mut eng = Engine::new(
@@ -312,10 +326,11 @@ pub fn prov_bench(
             );
             eng.set_unbatched(false);
             eng.set_threads(1);
-            eng.set_tracer(tracer.clone());
+            eng.set_tracer(Tracer::aggregate_only());
+            eng.set_metrics(metrics.clone());
             exec.log.schedule_into(&mut eng, None)?;
             eng.run()?;
-            let secs = tracer.aggregate().total_secs("engine.run");
+            let secs = run_seconds(&metrics);
             Ok((None, Some(eng.into_sink().finish()), secs))
         }
     };
@@ -564,11 +579,12 @@ fn timed_replay_sharded(
         eng.set_unbatched(false);
         eng.set_threads(1);
         eng.set_shards(shards);
-        let tracer = Tracer::aggregate_only();
-        eng.set_tracer(tracer.clone());
+        eng.set_tracer(Tracer::aggregate_only());
+        let metrics = Metrics::enabled();
+        eng.set_metrics(metrics.clone());
         exec.log.schedule_into(&mut eng, None)?;
         eng.run()?;
-        let secs = tracer.aggregate().total_secs("engine.run");
+        let secs = run_seconds(&metrics);
         if best.as_ref().is_none_or(|(_, b)| secs < *b) {
             best = Some((eng, secs));
         }
@@ -910,6 +926,101 @@ fn shard_section(s: &mut String, key: &str, r: &ShardBenchResult) {
     ));
 }
 
+/// Enabled-vs-disabled cost of the metrics subsystem on a campus replay.
+///
+/// Both legs run the identical workload and are timed with the same
+/// stopwatch (wall clock around the evaluation loop, best of `runs`), so
+/// the ratio isolates the cost of live metric updates: counter/histogram
+/// atomics per batch, the per-insert flow sketch, and the quiescence
+/// interner sweep. The disabled leg carries an explicitly disabled
+/// handle — one `Option` branch per would-be update, the provably-cheap
+/// fast path.
+#[derive(Clone, Debug)]
+pub struct MetricsOverheadResult {
+    /// Configured forwarding/ACL entries in the campus network.
+    pub entries: usize,
+    /// Background packets streamed through the network.
+    pub background_packets: usize,
+    /// Timed repetitions per leg (best time reported).
+    pub runs: usize,
+    /// Best replay seconds with metrics disabled.
+    pub disabled_secs: f64,
+    /// Best replay seconds with a live private registry attached.
+    pub enabled_secs: f64,
+    /// Metric families the enabled replay registered.
+    pub metric_families: usize,
+    /// Approximate distinct flows the enabled replay sketched.
+    pub distinct_flows: u64,
+    /// Whether both legs digested the identical provenance stream —
+    /// metrics must be a strictly passive observer.
+    pub streams_identical: bool,
+}
+
+impl MetricsOverheadResult {
+    /// Enabled-over-disabled time ratio (1.0 = free).
+    pub fn overhead_ratio(&self) -> f64 {
+        self.enabled_secs / self.disabled_secs.max(1e-12)
+    }
+}
+
+/// Measures the cost of enabling metrics on the campus workload: one leg
+/// with an explicitly disabled handle, one with a fresh live registry per
+/// run, both digesting their streams so passivity is checked, not assumed.
+pub fn metrics_overhead_bench(
+    min_entries: usize,
+    background_packets: usize,
+    runs: usize,
+) -> Result<MetricsOverheadResult> {
+    let per_bulk = 16 * 15;
+    let cfg = CampusConfig {
+        bulk_entries_per_router: min_entries / per_bulk + 1,
+        background_packets,
+        ..Default::default()
+    };
+    let c = campus(&cfg);
+    let exec = &c.scenario.bad_exec;
+
+    let leg = |metrics: &dyn Fn() -> Metrics| -> Result<(f64, u64, Metrics)> {
+        let mut best = f64::INFINITY;
+        let mut digest = 0u64;
+        let mut last = Metrics::disabled();
+        for _ in 0..runs.max(1) {
+            let mut eng = Engine::new(Arc::clone(&exec.program), HashSink::default());
+            eng.set_unbatched(false);
+            eng.set_threads(1);
+            eng.set_tracer(Tracer::aggregate_only());
+            let m = metrics();
+            eng.set_metrics(m.clone());
+            exec.log.schedule_into(&mut eng, None)?;
+            let t0 = std::time::Instant::now();
+            eng.run()?;
+            let secs = t0.elapsed().as_secs_f64();
+            digest = eng.sink().digest();
+            if secs < best {
+                best = secs;
+            }
+            last = m;
+        }
+        Ok((best, digest, last))
+    };
+
+    // Warmup, untimed, so the first leg doesn't pay the cold caches.
+    leg(&Metrics::disabled)?;
+    let (disabled_secs, disabled_digest, _) = leg(&Metrics::disabled)?;
+    let (enabled_secs, enabled_digest, m) = leg(&Metrics::enabled)?;
+    let snap = m.snapshot();
+    Ok(MetricsOverheadResult {
+        entries: c.entry_count,
+        background_packets,
+        runs: runs.max(1),
+        disabled_secs,
+        enabled_secs,
+        metric_families: snap.families.len(),
+        distinct_flows: snap.hll_estimate("dp_engine_distinct_flows", &[]).round() as u64,
+        streams_identical: disabled_digest == enabled_digest,
+    })
+}
+
 /// Renders the benchmark results as a JSON document (hand-rolled; the
 /// workspace builds offline, without serde).
 #[allow(clippy::too_many_arguments)]
@@ -922,6 +1033,7 @@ pub fn to_json(
     million: Option<&ShardBenchResult>,
     prov: Option<&ProvBenchResult>,
     durable: Option<&DurableBenchResult>,
+    overhead: Option<&MetricsOverheadResult>,
     parity: &[ScenarioParity],
 ) -> String {
     let mut s = String::new();
@@ -1113,6 +1225,36 @@ pub fn to_json(
             d.digest_match
         ));
     }
+    if let Some(o) = overhead {
+        s.push_str("  \"metrics_overhead\": {\n");
+        s.push_str(&format!("    \"entries\": {},\n", o.entries));
+        s.push_str(&format!(
+            "    \"background_packets\": {},\n",
+            o.background_packets
+        ));
+        s.push_str(&format!("    \"runs\": {},\n", o.runs));
+        s.push_str(&format!(
+            "    \"disabled_secs\": {:.6},\n",
+            o.disabled_secs
+        ));
+        s.push_str(&format!("    \"enabled_secs\": {:.6},\n", o.enabled_secs));
+        s.push_str(&format!(
+            "    \"overhead_ratio\": {:.4},\n",
+            o.overhead_ratio()
+        ));
+        s.push_str(&format!(
+            "    \"metric_families\": {},\n",
+            o.metric_families
+        ));
+        s.push_str(&format!(
+            "    \"distinct_flows\": {},\n",
+            o.distinct_flows
+        ));
+        s.push_str(&format!(
+            "    \"streams_identical\": {}\n  }},\n",
+            o.streams_identical
+        ));
+    }
     s.push_str("  \"parity\": [\n");
     for (i, p) in parity.iter().enumerate() {
         s.push_str(&format!(
@@ -1207,7 +1349,16 @@ mod tests {
             d.tail_events < d.stream_events,
             "the newest checkpoint must cover a non-trivial prefix"
         );
-        let json = to_json(&b, &l, &f, &s, &s, Some(&s), Some(&p), Some(&d), &[]);
+        let o = metrics_overhead_bench(2_000, 10, 1).expect("overhead bench runs");
+        assert!(
+            o.streams_identical,
+            "metrics perturbed the provenance stream"
+        );
+        assert!(o.metric_families > 0, "enabled leg registered nothing");
+        assert!(o.distinct_flows > 0, "flow sketch saw no flows");
+        let json = to_json(&b, &l, &f, &s, &s, Some(&s), Some(&p), Some(&d), Some(&o), &[]);
+        assert!(json.contains("\"metrics_overhead\""));
+        assert!(json.contains("\"overhead_ratio\""));
         assert!(json.contains("\"durable_store\""));
         assert!(json.contains("\"recovery_secs\""));
         assert!(json.contains("\"digest_match\": true"));

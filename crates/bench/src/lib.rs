@@ -32,6 +32,7 @@ pub mod complex;
 pub mod engine_bench;
 pub mod harness;
 pub mod latency;
+pub mod metrics_cmd;
 pub mod query;
 pub mod storage;
 pub mod table1;

@@ -1,0 +1,262 @@
+//! `repro -- metrics <scenario>` / `repro -- serve-metrics <scenario>` /
+//! `repro -- metrics-smoke`: the command-line surfaces of the dp-metrics
+//! registry.
+//!
+//! * `metrics <scenario>` replays both executions of the scenario, each
+//!   with its **own** private registry, folds them into one master via
+//!   [`Metrics::absorb`] (the same merge path a multi-process deployment
+//!   would use — counters and histograms add, sketches take the register
+//!   max), and prints the JSON snapshot plus the Prometheus text
+//!   exposition.
+//! * `serve-metrics <scenario>` binds a std-only HTTP endpoint
+//!   ([`MetricsServer`]) and keeps replaying the scenario on a worker
+//!   thread so `curl /metrics` observes counters moving live; `GET
+//!   /shutdown` stops both the workload and the server.
+//! * `metrics-smoke` is the in-process end-to-end check the CI script
+//!   runs: server on an ephemeral port, workload on a worker thread, a
+//!   scrape loop that validates every body with
+//!   [`dp_metrics::validate_exposition`], key-metric assertions, and a
+//!   clean HTTP-initiated shutdown.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use diffprov_core::Scenario;
+use dp_metrics::{render_prometheus, validate_exposition, Metrics, MetricsServer, Snapshot};
+use dp_types::{Error, Result};
+
+/// Replays both executions of `scenario`, each against a private live
+/// registry, and merges the two snapshots (plus whatever the process-global
+/// registry gathered, when `DP_METRICS=1` enabled it) into one.
+///
+/// The per-execution registries are deliberate: they exercise
+/// [`Metrics::absorb`], the cross-registry merge path, on every invocation
+/// rather than only in unit tests.
+pub fn scenario_snapshot(scenario: &Scenario) -> Result<Snapshot> {
+    let master = Metrics::enabled();
+    for exec in [&scenario.good_exec, &scenario.bad_exec] {
+        let mut exec = exec.clone();
+        let private = Metrics::enabled();
+        exec.metrics = private.clone();
+        exec.replay()?;
+        master.absorb(&private.snapshot());
+    }
+    if Metrics::global().is_enabled() {
+        // Under DP_METRICS=1 the store/recorder/pipeline layers metered
+        // the process-global registry during those replays; fold it in.
+        master.absorb(&Metrics::global().snapshot());
+    }
+    Ok(master.snapshot())
+}
+
+/// Renders the one-shot `metrics <scenario>` report: the JSON snapshot
+/// followed by the Prometheus text exposition (validated before printing,
+/// so a malformed exposition fails loudly here rather than at scrape time).
+pub fn one_shot(scenario: &Scenario) -> Result<String> {
+    let snap = scenario_snapshot(scenario)?;
+    let prom = render_prometheus(&snap);
+    validate_exposition(&prom).map_err(|e| Error::Engine(format!("bad exposition: {e}")))?;
+    Ok(format!("{}\n{}", snap.to_json(), prom))
+}
+
+/// Serves `/metrics` on `addr` while a worker thread replays `scenario` in
+/// a loop, so scrapes observe live movement. Returns after `GET /shutdown`
+/// (or [`MetricsServer::shutdown`] via Ctrl-C-less automation), reporting
+/// how many replay rounds the workload completed.
+pub fn serve(scenario: &Scenario, addr: &str) -> Result<u64> {
+    let metrics = Metrics::enabled();
+    let server = MetricsServer::serve(metrics.clone(), addr)
+        .map_err(|e| Error::Engine(format!("binding {addr}: {e}")))?;
+    println!(
+        "  serving http://{0}/metrics  (also /metrics.json, /healthz; GET /shutdown stops)",
+        server.local_addr()
+    );
+    let (worker, stop) = spawn_workload(scenario, &metrics);
+    while !server.stop_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    stop.store(true, Ordering::SeqCst);
+    let rounds = worker.join().map_err(|_| worker_panic())??;
+    server.shutdown();
+    println!("  shutdown requested; workload completed {rounds} replay round(s)");
+    Ok(rounds)
+}
+
+/// The end-to-end smoke test `scripts/check.sh` runs: scrape a live server
+/// under load, validate every body, assert the workload's metrics landed,
+/// and shut down over HTTP. Exits nonzero (via the returned error) on any
+/// failure.
+pub fn smoke(scenario: &Scenario) -> Result<()> {
+    let metrics = Metrics::enabled();
+    let server = MetricsServer::serve(metrics.clone(), "127.0.0.1:0")
+        .map_err(|e| Error::Engine(format!("binding ephemeral port: {e}")))?;
+    let addr = server.local_addr();
+    let (worker, stop) = spawn_workload(scenario, &metrics);
+
+    let mut scrapes = 0u32;
+    let mut last_events = 0u64;
+    for _ in 0..20 {
+        let (status, body) = get(addr, "/metrics")?;
+        if status != 200 {
+            return Err(Error::Engine(format!("/metrics returned {status}")));
+        }
+        validate_exposition(&body)
+            .map_err(|e| Error::Engine(format!("scrape {scrapes}: bad exposition: {e}")))?;
+        if let Some(line) = body
+            .lines()
+            .find(|l| l.starts_with("dp_engine_events_total "))
+        {
+            last_events = line
+                .rsplit(' ')
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+        }
+        scrapes += 1;
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (status, json) = get(addr, "/metrics.json")?;
+    if status != 200 || !json.starts_with('{') {
+        return Err(Error::Engine(format!("/metrics.json returned {status}")));
+    }
+    let (status, health) = get(addr, "/healthz")?;
+    if status != 200 || health.trim() != "ok" {
+        return Err(Error::Engine(format!("/healthz returned {status}: {health}")));
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    let rounds = worker.join().map_err(|_| worker_panic())??;
+
+    // The workload must have actually registered: events counted, the
+    // run-time histogram populated, and the tuple sketch non-empty.
+    let snap = metrics.snapshot();
+    if snap.counter_value("dp_engine_events_total", &[]) == 0 {
+        return Err(Error::Engine("no engine events metered".into()));
+    }
+    if snap.histogram("dp_engine_run_seconds", &[]).is_none() {
+        return Err(Error::Engine("dp_engine_run_seconds never observed".into()));
+    }
+    if snap.hll_estimate("dp_engine_distinct_tuples", &[]) < 1.0 {
+        return Err(Error::Engine("distinct-tuple sketch is empty".into()));
+    }
+    if last_events == 0 {
+        return Err(Error::Engine(
+            "scrapes never observed dp_engine_events_total > 0".into(),
+        ));
+    }
+
+    let (status, _) = get(addr, "/shutdown")?;
+    if status != 200 || !server.stop_requested() {
+        return Err(Error::Engine("HTTP shutdown was not honored".into()));
+    }
+    server.shutdown();
+    println!(
+        "  metrics-smoke: {scrapes} valid scrapes over {rounds} replay round(s); \
+         {} families, ~{:.0} distinct tuples; HTTP shutdown clean",
+        snap.families.len(),
+        snap.hll_estimate("dp_engine_distinct_tuples", &[])
+    );
+    Ok(())
+}
+
+/// Spawns the serve/smoke workload: replay `scenario`'s bad execution in a
+/// loop against `metrics` until `stop` is raised; returns the round count.
+fn spawn_workload(
+    scenario: &Scenario,
+    metrics: &Metrics,
+) -> (std::thread::JoinHandle<Result<u64>>, Arc<AtomicBool>) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_worker = Arc::clone(&stop);
+    let mut exec = scenario.bad_exec.clone();
+    exec.metrics = metrics.clone();
+    let handle = std::thread::spawn(move || -> Result<u64> {
+        let mut rounds = 0u64;
+        while !stop_worker.load(Ordering::SeqCst) {
+            exec.replay()?;
+            rounds += 1;
+        }
+        Ok(rounds)
+    });
+    (handle, stop)
+}
+
+fn worker_panic() -> Error {
+    Error::Engine("workload thread panicked".into())
+}
+
+/// A minimal scrape client over raw [`TcpStream`]: returns the status code
+/// and body. (The server closes each connection after responding, so
+/// read-to-end terminates.)
+fn get(addr: SocketAddr, path: &str) -> Result<(u16, String)> {
+    let io = |e: std::io::Error| Error::Engine(format!("GET {path}: {e}"));
+    let mut stream = TcpStream::connect(addr).map_err(io)?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(io)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: dp\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(io)?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(io)?;
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace_cmd::find_scenario;
+
+    /// The one-shot report carries both surfaces, and the merged registry
+    /// shows engine activity from both executions.
+    #[test]
+    fn one_shot_report_shape() {
+        let scenario = find_scenario("SDN1").unwrap();
+        let snap = scenario_snapshot(&scenario).unwrap();
+        assert!(snap.counter_value("dp_engine_events_total", &[]) > 0);
+        assert!(snap.histogram("dp_engine_run_seconds", &[]).is_some());
+        assert!(snap.hll_estimate("dp_engine_distinct_tuples", &[]) >= 1.0);
+        let text = one_shot(&scenario).unwrap();
+        assert!(text.starts_with('{'), "{text}");
+        assert!(text.contains("# TYPE dp_engine_events_total counter"), "{text}");
+    }
+
+    /// Merging two per-execution registries at least sums the event
+    /// counters of the individual replays.
+    #[test]
+    fn absorb_merges_both_executions() {
+        let scenario = find_scenario("SDN1").unwrap();
+        let solo = {
+            let mut exec = scenario.bad_exec.clone();
+            let m = Metrics::enabled();
+            exec.metrics = m.clone();
+            exec.replay().unwrap();
+            m.snapshot().counter_value("dp_engine_events_total", &[])
+        };
+        let merged = scenario_snapshot(&scenario)
+            .unwrap()
+            .counter_value("dp_engine_events_total", &[]);
+        assert!(solo > 0);
+        assert!(merged > solo, "merged {merged} vs solo {solo}");
+    }
+
+    /// The full smoke path passes in-process.
+    #[test]
+    fn smoke_passes() {
+        let scenario = find_scenario("SDN1").unwrap();
+        smoke(&scenario).unwrap();
+    }
+}

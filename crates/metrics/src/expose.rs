@@ -1,0 +1,433 @@
+//! Exposition: Prometheus text format 0.0.4 and the JSON snapshot shape.
+//!
+//! Both renderers walk a [`Snapshot`], never the live registry, so a
+//! scrape is one brief registration-mutex hold followed by pure
+//! formatting. Output order is the snapshot's `BTreeMap` order —
+//! deterministic for a given registry state.
+//!
+//! Histograms render in the Prometheus cumulative-bucket convention:
+//! bucket `i` of the log2 layout covers values in `[2^(i-1), 2^i)`, so
+//! its inclusive upper bound is `2^i - 1` — nanoseconds for time
+//! histograms (exposed as seconds, per Prometheus convention) and raw
+//! units for size histograms. HLL sketches expose their cardinality
+//! estimate as a gauge.
+
+use crate::{FamilySnap, MetricKind, Point, Snapshot, HIST_BUCKETS};
+
+use dp_trace::json_string;
+
+/// Escapes a HELP text (backslash and newline, per the text format spec).
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value (backslash, double quote, newline).
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders `{k="v",…}` for a label set, with an extra trailing pair when
+/// `extra` is given (used for `le`). Empty label sets with no extra render
+/// as the empty string.
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// The inclusive upper bound of log2 bucket `i`, in raw units.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Formats a raw bound for the `le` label: seconds for time histograms,
+/// the raw integer for size histograms.
+fn le_value(raw: u64, time: bool) -> String {
+    if time {
+        format!("{}", raw as f64 / 1e9)
+    } else {
+        format!("{raw}")
+    }
+}
+
+fn render_family(out: &mut String, name: &str, fam: &FamilySnap) {
+    let (prom_type, unit_time) = match fam.kind {
+        MetricKind::Counter => ("counter", false),
+        MetricKind::Gauge => ("gauge", false),
+        MetricKind::TimeHistogram => ("histogram", true),
+        MetricKind::SizeHistogram => ("histogram", false),
+        MetricKind::Hll => ("gauge", false),
+    };
+    out.push_str(&format!("# HELP {name} {}\n", escape_help(&fam.help)));
+    out.push_str(&format!("# TYPE {name} {prom_type}\n"));
+    for (labels, point) in &fam.series {
+        match point {
+            Point::Counter(v) => {
+                out.push_str(&format!("{name}{} {v}\n", label_block(labels, None)));
+            }
+            Point::Gauge(v) => {
+                out.push_str(&format!("{name}{} {v}\n", label_block(labels, None)));
+            }
+            Point::Hll(h) => {
+                // The estimate, rounded: a cardinality gauge.
+                out.push_str(&format!(
+                    "{name}{} {}\n",
+                    label_block(labels, None),
+                    h.estimate().round()
+                ));
+            }
+            Point::Histogram(h) => {
+                let mut cum = 0u64;
+                for (i, b) in h.buckets.iter().enumerate().take(HIST_BUCKETS) {
+                    cum += b;
+                    // Skip interior empty buckets to keep scrapes small,
+                    // but always emit a bucket that advances the
+                    // cumulative count (and the first/last for shape).
+                    if *b == 0 && i != 0 && i != HIST_BUCKETS - 1 {
+                        continue;
+                    }
+                    let le = le_value(bucket_upper(i), unit_time);
+                    out.push_str(&format!(
+                        "{name}_bucket{} {cum}\n",
+                        label_block(labels, Some(("le", &le))),
+                    ));
+                }
+                out.push_str(&format!(
+                    "{name}_bucket{} {}\n",
+                    label_block(labels, Some(("le", "+Inf"))),
+                    h.count
+                ));
+                let sum = if unit_time {
+                    format!("{}", h.sum_secs())
+                } else {
+                    format!("{}", h.sum)
+                };
+                out.push_str(&format!("{name}_sum{} {sum}\n", label_block(labels, None)));
+                out.push_str(&format!(
+                    "{name}_count{} {}\n",
+                    label_block(labels, None),
+                    h.count
+                ));
+            }
+        }
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format 0.0.4.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, fam) in &snap.families {
+        render_family(&mut out, name, fam);
+    }
+    out
+}
+
+/// Renders the JSON form of a snapshot (hand-rolled; see
+/// [`Snapshot::to_json`]).
+pub fn snapshot_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\"families\":[");
+    let mut first_fam = true;
+    for (name, fam) in &snap.families {
+        if !first_fam {
+            out.push(',');
+        }
+        first_fam = false;
+        out.push_str(&format!(
+            "{{\"name\":{},\"kind\":{},\"help\":{},\"series\":[",
+            json_string(name),
+            json_string(fam.kind.tag()),
+            json_string(&fam.help)
+        ));
+        let mut first_series = true;
+        for (labels, point) in &fam.series {
+            if !first_series {
+                out.push(',');
+            }
+            first_series = false;
+            out.push_str("{\"labels\":{");
+            let mut first_label = true;
+            for (k, v) in labels {
+                if !first_label {
+                    out.push(',');
+                }
+                first_label = false;
+                out.push_str(&format!("{}:{}", json_string(k), json_string(v)));
+            }
+            out.push_str("},");
+            match point {
+                Point::Counter(v) => out.push_str(&format!("\"value\":{v}")),
+                Point::Gauge(v) => out.push_str(&format!("\"value\":{v}")),
+                Point::Hll(h) => {
+                    let occupied = h.registers.iter().filter(|&&r| r != 0).count();
+                    out.push_str(&format!(
+                        "\"estimate\":{},\"occupied_registers\":{occupied}",
+                        h.estimate().round()
+                    ));
+                }
+                Point::Histogram(h) => {
+                    out.push_str(&format!("\"count\":{},\"sum\":{},\"buckets\":[", h.count, h.sum));
+                    let mut first_bucket = true;
+                    for (i, b) in h.buckets.iter().enumerate() {
+                        if *b == 0 {
+                            continue;
+                        }
+                        if !first_bucket {
+                            out.push(',');
+                        }
+                        first_bucket = false;
+                        out.push_str(&format!("[{i},{b}]"));
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Checks that `text` is well-formed Prometheus text exposition: every
+/// line is a comment (`# HELP` / `# TYPE` with a known type) or a sample
+/// (`name{labels} value`), names are legal, label blocks are balanced
+/// with quoted escaped values, every value parses as a float, and every
+/// sample belongs to a family with a preceding `# TYPE` declaration.
+///
+/// This is what the scrape smoke test and the scrape-under-load test run
+/// on every body they fetch — a torn or interleaved exposition fails
+/// here.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let n = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.splitn(2, ' ');
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if !valid_name(name) {
+                    return Err(format!("line {n}: bad TYPE metric name `{name}`"));
+                }
+                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                    return Err(format!("line {n}: unknown TYPE `{kind}`"));
+                }
+                types.insert(name.to_string(), kind.to_string());
+                continue;
+            }
+            if let Some(decl) = rest.strip_prefix("HELP ") {
+                let name = decl.split(' ').next().unwrap_or("");
+                if !valid_name(name) {
+                    return Err(format!("line {n}: bad HELP metric name `{name}`"));
+                }
+                continue;
+            }
+            continue; // other comments are legal
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| format!("line {n}: no value separator"))?;
+        let name = &line[..name_end];
+        if !valid_name(name) {
+            return Err(format!("line {n}: bad metric name `{name}`"));
+        }
+        let rest = &line[name_end..];
+        let value_part = if let Some(after_brace) = rest.strip_prefix('{') {
+            let close = find_label_block_end(after_brace)
+                .ok_or_else(|| format!("line {n}: unterminated label block"))?;
+            let labels = &after_brace[..close];
+            validate_labels(labels).map_err(|e| format!("line {n}: {e}"))?;
+            after_brace[close + 1..].trim_start()
+        } else {
+            rest.trim_start()
+        };
+        let value = value_part.split(' ').next().unwrap_or("");
+        let float_ok = value.parse::<f64>().is_ok()
+            || matches!(value, "+Inf" | "-Inf" | "NaN");
+        if !float_ok {
+            return Err(format!("line {n}: unparseable value `{value}`"));
+        }
+        // Family check: histogram children map back to their base family.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                let base = name.strip_suffix(suffix)?;
+                (types.get(base).map(String::as_str) == Some("histogram")).then_some(base)
+            })
+            .unwrap_or(name);
+        if !types.contains_key(family) {
+            return Err(format!("line {n}: sample `{name}` has no TYPE declaration"));
+        }
+    }
+    Ok(())
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Index of the closing `}` of a label block (input starts just past the
+/// opening `{`), skipping quoted values with backslash escapes.
+fn find_label_block_end(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    let mut in_quotes = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_quotes => i += 1, // skip escaped char
+            b'"' => in_quotes = !in_quotes,
+            b'}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn validate_labels(labels: &str) -> Result<(), String> {
+    if labels.is_empty() {
+        return Ok(());
+    }
+    let mut rest = labels;
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label pair without `=` in `{rest}`"))?;
+        let key = &rest[..eq];
+        if !valid_name(key) {
+            return Err(format!("bad label name `{key}`"));
+        }
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("unquoted label value after `{key}`"));
+        }
+        // Find closing quote, honoring escapes.
+        let bytes = after.as_bytes();
+        let mut i = 1;
+        let mut closed = None;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 1,
+                b'"' => {
+                    closed = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let close = closed.ok_or_else(|| format!("unterminated value for `{key}`"))?;
+        rest = &after[close + 1..];
+        if rest.is_empty() {
+            return Ok(());
+        }
+        rest = rest
+            .strip_prefix(',')
+            .ok_or_else(|| format!("junk after value for `{key}`"))?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Metrics;
+
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        let m = Metrics::enabled();
+        m.counter_with("dp_req_total", "requests so far", &[("kind", "a")])
+            .add(7);
+        m.gauge("dp_depth", "queue \"depth\"\nnow").set(-3);
+        let h = m.time_histogram("dp_run_seconds", "run time");
+        h.observe(1); // bucket 1
+        h.observe(1_000_000_000); // ~2^30
+        let s = m.hll("dp_distinct", "distinct things");
+        for v in 0..200u64 {
+            s.observe_u64(v);
+        }
+        m.snapshot()
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let text = render_prometheus(&sample_snapshot());
+        validate_exposition(&text).unwrap();
+        assert!(text.contains("# TYPE dp_req_total counter"));
+        assert!(text.contains("dp_req_total{kind=\"a\"} 7"));
+        assert!(text.contains("# TYPE dp_depth gauge"));
+        assert!(text.contains("dp_depth -3"));
+        assert!(text.contains("# TYPE dp_run_seconds histogram"));
+        assert!(text.contains("dp_run_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("dp_run_seconds_count 2"));
+        assert!(text.contains("# TYPE dp_distinct gauge"));
+        // Escapes: quote in help must not break parsing; newline escaped.
+        assert!(text.contains("queue \"depth\"\\nnow"));
+    }
+
+    #[test]
+    fn json_snapshot_has_expected_shape() {
+        let json = sample_snapshot().to_json();
+        assert!(json.starts_with("{\"families\":["));
+        assert!(json.contains("\"name\":\"dp_req_total\""));
+        assert!(json.contains("\"kind\":\"counter\""));
+        assert!(json.contains("\"labels\":{\"kind\":\"a\"},\"value\":7"));
+        assert!(json.contains("\"kind\":\"hll\"") || json.contains("\"estimate\":"));
+        assert!(json.contains("\"count\":2,\"sum\":1000000001"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_bodies() {
+        assert!(validate_exposition("dp_x 1").is_err(), "sample without TYPE");
+        assert!(
+            validate_exposition("# TYPE dp_x counter\ndp_x one").is_err(),
+            "non-float value"
+        );
+        assert!(
+            validate_exposition("# TYPE dp_x counter\ndp_x{a=b} 1").is_err(),
+            "unquoted label value"
+        );
+        assert!(
+            validate_exposition("# TYPE dp_x counter\ndp_x{a=\"b} 1").is_err(),
+            "unterminated label value"
+        );
+        assert!(validate_exposition("# TYPE dp_x counter\ndp_x{a=\"b\"} 1").is_ok());
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let snap = Snapshot::default();
+        assert_eq!(render_prometheus(&snap), "");
+        assert_eq!(snap.to_json(), "{\"families\":[]}");
+        validate_exposition("").unwrap();
+    }
+}

@@ -130,6 +130,7 @@ use std::sync::Arc;
 
 pub mod snapshot;
 
+use dp_metrics::Metrics;
 use dp_trace::{Class, Tracer};
 use dp_types::{
     Error, LogicalTime, NodeId, Prefix, PrefixTrie, Result, ShardAssignment, Sym, TableKind,
@@ -820,6 +821,39 @@ pub fn join_profile_json(profile: &BTreeMap<Sym, RuleJoinProfile>) -> String {
     s
 }
 
+/// Renders per-shard interner sizes ([`Engine::shard_loads`]) plus a
+/// simple balance summary as one JSON object (serde-free). `max_over_min`
+/// is the load ratio between the fullest and emptiest shard (`1.0` when
+/// perfectly balanced; `null` when any shard is empty, since the ratio is
+/// undefined). Used by `repro -- stats` and pinned by the same golden
+/// test as [`Stats::to_json`].
+pub fn shard_loads_json(loads: &[u64]) -> String {
+    let total: u64 = loads.iter().sum();
+    let max = loads.iter().copied().max().unwrap_or(0);
+    let min = loads.iter().copied().min().unwrap_or(0);
+    let ratio = if min == 0 {
+        String::from("null")
+    } else {
+        format!("{:.4}", max as f64 / min as f64)
+    };
+    let mut s = String::from("{\"loads\":[");
+    for (i, l) in loads.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&l.to_string());
+    }
+    s.push_str(&format!(
+        "],\"shards\":{},\"total\":{},\"max\":{},\"min\":{},\"max_over_min\":{}}}",
+        loads.len(),
+        total,
+        max,
+        min,
+        ratio
+    ));
+    s
+}
+
 /// Counters for one join invocation.
 #[derive(Clone, Copy, Debug, Default)]
 struct JoinCounters {
@@ -1272,6 +1306,12 @@ pub struct Engine<S: ProvenanceSink> {
     threads: usize,
     /// Trace sink (disabled by default; see [`Engine::set_tracer`]).
     tracer: Tracer,
+    /// Live-metrics registry handle (the `DP_METRICS` global unless
+    /// injected; see [`Engine::set_metrics`]).
+    metrics: Metrics,
+    /// Hot-path metric handles, pre-registered so per-batch updates are
+    /// pure atomic ops. `None` exactly when `metrics` is disabled.
+    meters: Option<EngineMeters>,
     /// Appearances of the current same-`due` batch, awaiting their rule
     /// firings (always empty in unbatched mode and at quiescence).
     pending: Vec<Delta>,
@@ -1287,10 +1327,67 @@ pub struct Engine<S: ProvenanceSink> {
     pub max_events: u64,
 }
 
+/// Pre-registered `dp-metrics` handles for the engine's per-batch hot
+/// path. Quiescence-summary counters are looked up by name per run (one
+/// registration-mutex hold each — negligible at run granularity); these
+/// are the ones touched per flush or per scheduled event, cached so an
+/// enabled registry costs atomic ops only.
+struct EngineMeters {
+    /// Wall time of each [`Engine::run`] to quiescence.
+    run_seconds: dp_metrics::Histogram,
+    /// Deltas per batch flush.
+    batch_deltas: dp_metrics::Histogram,
+    /// Cross-shard messages routed per sharded flush (inbox pressure).
+    inbox_depth: dp_metrics::Histogram,
+    /// Scheduled events awaiting dispatch, sampled at each flush.
+    queue_depth: dp_metrics::Gauge,
+    /// HLL sketch over stable hashes of every distinct interned tuple.
+    distinct_tuples: dp_metrics::Hll,
+    /// HLL sketch over flow identities (IP-field hashes) of scheduled
+    /// base tuples that carry IP fields.
+    distinct_flows: dp_metrics::Hll,
+}
+
+impl EngineMeters {
+    /// Registers the hot-path instruments; `None` on a disabled handle.
+    fn register(metrics: &Metrics) -> Option<Self> {
+        if !metrics.is_enabled() {
+            return None;
+        }
+        Some(EngineMeters {
+            run_seconds: metrics.time_histogram(
+                "dp_engine_run_seconds",
+                "Wall time of each engine run to quiescence",
+            ),
+            batch_deltas: metrics.size_histogram(
+                "dp_engine_batch_deltas",
+                "Appearance deltas fired per batch flush",
+            ),
+            inbox_depth: metrics.size_histogram(
+                "dp_engine_inbox_depth",
+                "Cross-shard messages routed per sharded batch flush",
+            ),
+            queue_depth: metrics.gauge(
+                "dp_engine_queue_depth",
+                "Scheduled events awaiting dispatch, sampled at each flush",
+            ),
+            distinct_tuples: metrics.hll(
+                "dp_engine_distinct_tuples",
+                "HLL estimate of distinct interned tuples (stable content hash)",
+            ),
+            distinct_flows: metrics.hll(
+                "dp_engine_distinct_flows",
+                "HLL estimate of distinct flows among scheduled base tuples (IP-field hash)",
+            ),
+        })
+    }
+}
+
 impl<S: ProvenanceSink> Engine<S> {
     /// Creates an engine over `program`, streaming provenance into `sink`.
     pub fn new(program: Arc<Program>, sink: S) -> Self {
         let shards = default_shards();
+        let metrics = Metrics::global().clone();
         Engine {
             program,
             shards: (0..shards).map(|_| ShardState::default()).collect(),
@@ -1313,6 +1410,8 @@ impl<S: ProvenanceSink> Engine<S> {
             unbatched: default_unbatched(),
             threads: default_threads(),
             tracer: Tracer::from_env(),
+            meters: EngineMeters::register(&metrics),
+            metrics,
             pending: Vec::new(),
             flush_buf: Vec::new(),
             fire_scratch: Vec::new(),
@@ -1520,6 +1619,28 @@ impl<S: ProvenanceSink> Engine<S> {
         &self.tracer
     }
 
+    /// Attaches a live-metrics registry handle (`dp-metrics`).
+    ///
+    /// Engines default to [`Metrics::global`] — enabled process-wide by
+    /// `DP_METRICS=1`, disabled (one branch per update site) otherwise.
+    /// Metrics are strictly passive: semantic counters mirror the
+    /// quiescence deltas the tracer reports, hot-path instruments
+    /// (batch-depth histograms, queue gauge, HLL sketches) are cached
+    /// atomics, and nothing observable about evaluation — streams,
+    /// firings, fixpoints, the trace skeleton — moves when the registry
+    /// is enabled. `crates/ndlog/tests/metrics_differential.rs` pins
+    /// that.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.meters = EngineMeters::register(&metrics);
+        self.metrics = metrics;
+    }
+
+    /// The engine's metrics handle (the `DP_METRICS` global unless
+    /// [`Engine::set_metrics`] was called).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
     /// Consumes the engine, returning its sink (e.g. a finished graph
     /// builder).
     pub fn into_sink(self) -> S {
@@ -1608,6 +1729,7 @@ impl<S: ProvenanceSink> Engine<S> {
         // Distribute the serial snapshot map across this process's
         // default shard layout; `set_shards` can re-partition afterwards.
         let nshards = default_shards();
+        let metrics = Metrics::global().clone();
         let assign = ShardAssignment::new(nshards);
         let mut shards: Vec<ShardState> = (0..nshards).map(|_| ShardState::default()).collect();
         for (node, state) in nodes {
@@ -1640,6 +1762,8 @@ impl<S: ProvenanceSink> Engine<S> {
             unbatched: default_unbatched(),
             threads: default_threads(),
             tracer: Tracer::from_env(),
+            meters: EngineMeters::register(&metrics),
+            metrics,
             pending: Vec::new(),
             flush_buf: Vec::new(),
             fire_scratch: Vec::new(),
@@ -1680,6 +1804,14 @@ impl<S: ProvenanceSink> Engine<S> {
     /// Schedules a base-tuple insertion not earlier than `due`.
     pub fn schedule_insert(&mut self, due: LogicalTime, node: NodeId, tuple: Tuple) -> Result<()> {
         self.check_base(&tuple)?;
+        // Flow identity: the IP endpoints of a packet-shaped base tuple.
+        // Hashed only when metrics are live, before interning moves the
+        // tuple.
+        if let Some(m) = &self.meters {
+            if let Some(h) = dp_types::codec::flow_fnv64(&tuple) {
+                m.distinct_flows.observe_hash(h);
+            }
+        }
         let s = self.shard_of(&node);
         let tuple = self.stores[s].intern(tuple);
         self.push(due, Action::InsertBase(node, tuple));
@@ -1727,6 +1859,12 @@ impl<S: ProvenanceSink> Engine<S> {
                 self.shard_deltas.clone(),
             )
         });
+        // The metrics summary wants the same per-run deltas; snapshot the
+        // counters (and the clock) only when a registry is live.
+        let metered = self
+            .meters
+            .is_some()
+            .then(|| (std::time::Instant::now(), self.stats, self.rule_firings.clone(), self.shard_deltas.clone()));
         let result = self.run_inner();
         if result.is_err() {
             // Don't swallow provenance already produced by applied
@@ -1743,7 +1881,97 @@ impl<S: ProvenanceSink> Engine<S> {
             self.trace_run_summary(s0, &firings0, &profile0, &sd0);
             span.end(Some(self.clock), &[("events", self.stats.events - s0.events)]);
         }
+        if let Some((started, s0, firings0, sd0)) = metered {
+            self.metrics_run_summary(started.elapsed(), s0, &firings0, &sd0);
+        }
         result.map(|()| self.stats)
+    }
+
+    /// Folds this run's deltas into the live-metrics registry at
+    /// quiescence — the metrics twin of [`Engine::trace_run_summary`],
+    /// and the registry's *only* producer for these quantities (the
+    /// trace aggregate keeps its own copies; neither is derived from the
+    /// other, so one scrape never double-counts).
+    fn metrics_run_summary(
+        &self,
+        elapsed: std::time::Duration,
+        s0: Stats,
+        firings0: &BTreeMap<Sym, u64>,
+        sd0: &[u64],
+    ) {
+        let Some(meters) = &self.meters else { return };
+        meters.run_seconds.observe_duration(elapsed);
+        let m = &self.metrics;
+        let s = self.stats;
+        // Semantic counters: identical in every engine configuration.
+        for (name, help, v) in [
+            ("dp_engine_events_total", "Events processed", s.events - s0.events),
+            ("dp_engine_base_inserts_total", "Base tuples inserted", s.base_inserts - s0.base_inserts),
+            ("dp_engine_base_deletes_total", "Base tuples deleted", s.base_deletes - s0.base_deletes),
+            ("dp_engine_derivations_total", "Rule derivations", s.derivations - s0.derivations),
+            ("dp_engine_underivations_total", "Derivations invalidated", s.underivations - s0.underivations),
+        ] {
+            m.counter(name, help).add(v);
+        }
+        for (rule, &n) in &self.rule_firings {
+            let prev = firings0.get(rule).copied().unwrap_or(0);
+            if n > prev {
+                m.counter_with(
+                    "dp_engine_rule_fired_total",
+                    "Rule firings by rule",
+                    &[("rule", rule.as_str())],
+                )
+                .add(n - prev);
+            }
+        }
+        // Effort counters: configuration-dependent join/batching work.
+        for (name, help, v) in [
+            ("dp_engine_join_probes_total", "Index probes during joins", s.join_probes - s0.join_probes),
+            ("dp_engine_join_scans_total", "Full scans during joins", s.join_scans - s0.join_scans),
+            ("dp_engine_trie_probes_total", "Prefix-trie probes", s.trie_probes - s0.trie_probes),
+            ("dp_engine_trie_scans_total", "Prefix-trie fallback scans", s.trie_scans - s0.trie_scans),
+            ("dp_engine_join_candidates_total", "Join candidates examined", s.join_candidates - s0.join_candidates),
+            ("dp_engine_join_matches_total", "Join matches found", s.join_matches - s0.join_matches),
+            ("dp_engine_batches_total", "Batch flushes", s.batches - s0.batches),
+            ("dp_engine_batched_deltas_total", "Deltas fired through batches", s.batched_deltas - s0.batched_deltas),
+            ("dp_engine_parallel_batches_total", "Batches fired on the thread pool", s.parallel_batches - s0.parallel_batches),
+            ("dp_engine_sharded_batches_total", "Batches dispatched to shard workers", s.sharded_batches - s0.sharded_batches),
+            ("dp_engine_cross_shard_msgs_total", "Derived heads crossing a shard boundary", s.cross_shard_msgs - s0.cross_shard_msgs),
+        ] {
+            m.counter(name, help).add(v);
+        }
+        if self.shard_deltas.len() > 1 {
+            for (i, &n) in self.shard_deltas.iter().enumerate() {
+                let prev = sd0.get(i).copied().unwrap_or(0);
+                if n > prev {
+                    let label = i.to_string();
+                    m.counter_with(
+                        "dp_engine_shard_deltas_total",
+                        "Deltas fired per shard",
+                        &[("shard", &label)],
+                    )
+                    .add(n - prev);
+                }
+            }
+        }
+        // Levels at quiescence: high-water marks and the live fixpoint.
+        m.gauge("dp_engine_peak_tuples", "High-water mark of live tuples")
+            .raise_to(s.peak_tuples as i64);
+        m.gauge("dp_engine_peak_interned", "High-water mark of interned tuples across shards")
+            .raise_to(s.peak_interned as i64);
+        m.gauge("dp_engine_live_tuples", "Live tuples at last quiescence")
+            .set(self.live_tuples as i64);
+        // Distinct interned tuples: the interners hold exactly the
+        // distinct tuples that materialized, and HLL observation is
+        // idempotent, so sketching them at quiescence costs one stable
+        // hash per interned tuple per run and nothing on the hot path.
+        for store in &self.stores {
+            for tuple in store.iter() {
+                meters
+                    .distinct_tuples
+                    .observe_hash(dp_types::codec::tuple_fnv64(tuple));
+            }
+        }
     }
 
     /// Emits the quiescence counter snapshot closing an `engine.run` span.
@@ -2327,6 +2555,10 @@ impl<S: ProvenanceSink> Engine<S> {
             let deltas = std::mem::take(&mut self.pending);
             self.stats.batches += 1;
             self.stats.batched_deltas += deltas.len() as u64;
+            if let Some(m) = &self.meters {
+                m.batch_deltas.observe(deltas.len() as u64);
+                m.queue_depth.set(self.queue.len() as i64);
+            }
             let mut buf = std::mem::take(&mut self.flush_buf);
             for b in &mut buf {
                 b.clear();
@@ -2346,6 +2578,11 @@ impl<S: ProvenanceSink> Engine<S> {
                 let res = self.fire_batch_sharded(&deltas, &mut buf[..deltas.len()]);
                 if let Some(span) = span {
                     span.end(Some(self.clock), &[("deltas", deltas.len() as u64)]);
+                }
+                if let Some(m) = &self.meters {
+                    // Inbox pressure: boundary crossings this flush routed.
+                    m.inbox_depth
+                        .observe(self.stats.cross_shard_msgs - s0.cross_shard_msgs);
                 }
                 res
             } else if self.threads > 1 && deltas.len() >= PAR_MIN_DELTAS {

@@ -1,0 +1,156 @@
+//! Differential test of the dp-metrics **passivity contract**: attaching
+//! a live metrics registry must not perturb evaluation. The provenance
+//! event stream and the deterministic trace skeleton must be
+//! byte-identical with metrics enabled and disabled, in every engine
+//! configuration — the registry observes counters, sketches, and
+//! histograms off to the side, but never influences scheduling, join
+//! order, batching, sharding, or the sink.
+//!
+//! Both legs pin the metrics handle explicitly ([`Metrics::disabled`] vs
+//! a fresh [`Metrics::enabled`] registry per run), because `DP_METRICS`
+//! resolves through a process-wide `OnceLock`: under the `DP_METRICS=1`
+//! leg of `scripts/check.sh` the *global* registry is live, and this test
+//! must still compare a genuinely-dark engine against a metered one.
+//! The enabled leg additionally asserts the registry actually populated,
+//! so the comparison can never pass vacuously.
+
+use std::sync::Arc;
+
+use dp_metrics::Metrics;
+use dp_ndlog::testsupport::{prefixgen, EngineConfig, ScheduledOp};
+use dp_ndlog::{Engine, Program, ProvEvent, VecSink};
+use dp_trace::Tracer;
+use dp_types::DetRng;
+
+/// The canonical six-config matrix plus the sharded-and-threaded point
+/// the issue calls out explicitly (shards=2, threads=2): sharding routes
+/// deltas through per-shard inboxes and the thread pool merges batches,
+/// both of which the registry meters — neither may change the stream.
+fn configs() -> Vec<EngineConfig> {
+    let mut v: Vec<EngineConfig> = EngineConfig::matrix().to_vec();
+    let mut sharded = EngineConfig::matrix()[1]; // threads-2, knobs pinned
+    sharded.label = "shards2-threads2";
+    sharded.shards = Some(2);
+    v.push(sharded);
+    v
+}
+
+/// One traced run with an explicit metrics handle; returns the stream,
+/// the skeleton, and the handle (for populated-registry assertions).
+fn run(
+    program: &Arc<Program>,
+    ops: &[ScheduledOp],
+    cfg: &EngineConfig,
+    metrics: Metrics,
+) -> (Vec<ProvEvent>, String, Metrics) {
+    let mut eng = Engine::new(Arc::clone(program), VecSink::default());
+    cfg.apply(&mut eng);
+    let tracer = Tracer::full();
+    eng.set_tracer(tracer.clone());
+    eng.set_metrics(metrics.clone());
+    for op in ops {
+        if op.delete {
+            eng.schedule_delete(op.due, op.node.clone(), op.tuple.clone())
+                .unwrap();
+        } else {
+            eng.schedule_insert(op.due, op.node.clone(), op.tuple.clone())
+                .unwrap();
+        }
+    }
+    eng.run().unwrap();
+    (eng.into_sink().events, tracer.finish().skeleton(), metrics)
+}
+
+fn assert_passive(program: &Arc<Program>, ops: &[ScheduledOp], case: &str) {
+    for cfg in configs() {
+        let (dark_events, dark_skel, _) =
+            run(program, ops, &cfg, Metrics::disabled());
+        let (lit_events, lit_skel, metrics) =
+            run(program, ops, &cfg, Metrics::enabled());
+        assert_eq!(
+            dark_events, lit_events,
+            "{case}: stream diverges with metrics enabled under {}",
+            cfg.label
+        );
+        assert_eq!(
+            dark_skel, lit_skel,
+            "{case}: skeleton diverges with metrics enabled under {}",
+            cfg.label
+        );
+        let snap = metrics.snapshot();
+        if !ops.is_empty() {
+            assert!(
+                snap.counter_value("dp_engine_events_total", &[]) > 0,
+                "{case}: enabled leg metered nothing under {} — vacuous comparison",
+                cfg.label
+            );
+            assert!(
+                snap.histogram("dp_engine_run_seconds", &[]).is_some(),
+                "{case}: run-time histogram never observed under {}",
+                cfg.label
+            );
+        }
+    }
+}
+
+/// Random prefix-flavored programs: streams and skeletons are identical
+/// with and without a live registry, in all seven configurations.
+#[test]
+fn metrics_are_passive_on_random_programs() {
+    let mut rng = DetRng::seed_from_u64(0x0D5E_781C_0A11_D1FF);
+    let mut cases = 0usize;
+    while cases < 24 {
+        let Some(program) = prefixgen::arb_program(&mut rng, true) else {
+            continue;
+        };
+        let ops = prefixgen::alternating_schedule(&prefixgen::arb_ops(&mut rng, 8, 40, 4));
+        cases += 1;
+        assert_passive(&program, &ops, &format!("case {cases}"));
+    }
+}
+
+/// All 9 repro scenarios, good and bad executions: enabling metrics
+/// leaves both bit-identical in the serial reference and in the
+/// sharded-threaded configuration.
+#[test]
+fn metrics_are_passive_on_all_repro_scenarios() {
+    let mut scenarios = dp_sdn::all_sdn_scenarios();
+    scenarios.extend(dp_mapreduce::all_mr_scenarios());
+    scenarios.push(dp_sdn::campus(&dp_sdn::CampusConfig::default()).scenario);
+    assert_eq!(scenarios.len(), 9, "repro corpus changed size");
+    let configs = configs();
+    let picked = [&configs[0], &configs[6]]; // batched-serial, shards2-threads2
+    for s in &scenarios {
+        for (label, exec) in [("good", &s.good_exec), ("bad", &s.bad_exec)] {
+            for cfg in picked {
+                let mut legs = Vec::new();
+                for metrics in [Metrics::disabled(), Metrics::enabled()] {
+                    let mut eng = Engine::new(Arc::clone(&exec.program), VecSink::default());
+                    cfg.apply(&mut eng);
+                    let tracer = Tracer::full();
+                    eng.set_tracer(tracer.clone());
+                    eng.set_metrics(metrics.clone());
+                    exec.log.schedule_into(&mut eng, None).unwrap();
+                    eng.run().unwrap();
+                    legs.push((eng.into_sink().events, tracer.finish().skeleton(), metrics));
+                }
+                let (dark, lit) = (&legs[0], &legs[1]);
+                assert_eq!(
+                    dark.0, lit.0,
+                    "scenario {} ({label}): stream diverges with metrics under {}",
+                    s.name, cfg.label
+                );
+                assert_eq!(
+                    dark.1, lit.1,
+                    "scenario {} ({label}): skeleton diverges with metrics under {}",
+                    s.name, cfg.label
+                );
+                assert!(
+                    lit.2.snapshot().counter_value("dp_engine_events_total", &[]) > 0,
+                    "scenario {} ({label}): enabled leg metered nothing under {}",
+                    s.name, cfg.label
+                );
+            }
+        }
+    }
+}

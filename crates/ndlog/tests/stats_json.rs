@@ -5,7 +5,7 @@
 
 use std::collections::BTreeMap;
 
-use dp_ndlog::{join_profile_json, RuleJoinProfile, Stats};
+use dp_ndlog::{join_profile_json, shard_loads_json, RuleJoinProfile, Stats};
 use dp_types::Sym;
 
 #[test]
@@ -94,4 +94,33 @@ fn join_profile_map_json_golden() {
          \"trie_scans\":0,\"candidates\":9,\"matches\":4}}"
     );
     assert_eq!(join_profile_json(&BTreeMap::new()), "{}");
+}
+
+#[test]
+fn shard_loads_json_golden() {
+    // Multi-shard with imbalance: ratio is max/min to four decimals.
+    assert_eq!(
+        shard_loads_json(&[300, 100, 200]),
+        "{\"loads\":[300,100,200],\"shards\":3,\"total\":600,\
+         \"max\":300,\"min\":100,\"max_over_min\":3.0000}"
+    );
+    // Single shard: perfectly balanced by definition.
+    assert_eq!(
+        shard_loads_json(&[42]),
+        "{\"loads\":[42],\"shards\":1,\"total\":42,\"max\":42,\"min\":42,\
+         \"max_over_min\":1.0000}"
+    );
+    // An empty shard makes the ratio undefined.
+    assert_eq!(
+        shard_loads_json(&[5, 0]),
+        "{\"loads\":[5,0],\"shards\":2,\"total\":5,\"max\":5,\"min\":0,\
+         \"max_over_min\":null}"
+    );
+    // Degenerate empty slice (an engine always has >= 1 shard, but the
+    // helper must not panic on one).
+    assert_eq!(
+        shard_loads_json(&[]),
+        "{\"loads\":[],\"shards\":0,\"total\":0,\"max\":0,\"min\":0,\
+         \"max_over_min\":null}"
+    );
 }

@@ -740,6 +740,7 @@ pub struct AnnotRecorder {
     /// The store under construction.
     pub store: AnnotationStore,
     tracer: dp_trace::Tracer,
+    meters: Option<crate::graph::RecorderMeters>,
 }
 
 impl AnnotRecorder {
@@ -748,6 +749,7 @@ impl AnnotRecorder {
         AnnotRecorder {
             store: AnnotationStore::new(program),
             tracer: dp_trace::Tracer::default(),
+            meters: crate::graph::RecorderMeters::register("annot"),
         }
     }
 
@@ -757,6 +759,7 @@ impl AnnotRecorder {
         AnnotRecorder {
             store: AnnotationStore::new(program),
             tracer,
+            meters: crate::graph::RecorderMeters::register("annot"),
         }
     }
 
@@ -775,6 +778,9 @@ impl fmt::Debug for AnnotRecorder {
 impl ProvenanceSink for AnnotRecorder {
     fn record(&mut self, event: ProvEvent) {
         self.store.record_event(event);
+        if let Some(m) = &self.meters {
+            m.observe(1, self.store.store.slot_count() as u64);
+        }
     }
 
     fn record_batch(&mut self, events: &mut Vec<ProvEvent>) {
@@ -785,8 +791,12 @@ impl ProvenanceSink for AnnotRecorder {
                 events.len() as u64,
             )
         });
+        let n = events.len() as u64;
         for event in events.drain(..) {
             self.store.record_event(event);
+        }
+        if let Some(m) = &self.meters {
+            m.observe(n, self.store.store.slot_count() as u64);
         }
         if let Some((span, n)) = span {
             span.end(None, &[("events", n)]);

@@ -16,6 +16,7 @@ use dp_provenance::{
     extract_tree, extract_tree_latest, reconstruct_tree, reconstruct_tree_latest, AnnotRecorder,
     AnnotationStore, GraphRecorder, ProvGraph, ProvTree,
 };
+use dp_metrics::Metrics;
 use dp_trace::{Class, Tracer};
 use dp_types::{LogicalTime, NodeId, Result, Tuple, TupleRef};
 
@@ -114,6 +115,12 @@ pub struct Execution {
     /// clones share one event stream, so the UPDATETREE replays of a
     /// cloned execution land in the same trace as the original's.
     pub tracer: Tracer,
+    /// Metrics registry threaded into every engine this execution builds
+    /// (disabled by default, in which case each engine falls back to the
+    /// process-wide [`Metrics::global`] default, i.e. the `DP_METRICS`
+    /// environment variable). Metrics are strictly passive observers —
+    /// every setting replays the identical provenance stream.
+    pub metrics: Metrics,
     /// The provenance backend every replay of this execution records into.
     /// Defaults to the `DP_PROV` environment variable (see
     /// [`ProvBackend::default_from_env`]). Both backends answer queries
@@ -186,10 +193,12 @@ impl Replayed {
     pub fn query(&self, root: &TupleRef) -> Option<ProvTree> {
         let now = self.now();
         let span = self.extract_span(now);
+        let timer = self.extract_timer();
         let tree = match self.engine.sink() {
             BackendRecorder::Graph(g) => extract_tree(&g.graph, root, now),
             BackendRecorder::Annot(a) => reconstruct_tree(&a.store, root, now),
         };
+        self.observe_extract(timer, tree.as_ref());
         close_extract_span(span, now, tree.as_ref());
         tree
     }
@@ -198,12 +207,56 @@ impl Replayed {
     /// tuples that have since disappeared).
     pub fn query_at(&self, root: &TupleRef, at: LogicalTime) -> Option<ProvTree> {
         let span = self.extract_span(at);
+        let timer = self.extract_timer();
         let tree = match self.engine.sink() {
             BackendRecorder::Graph(g) => extract_tree_latest(&g.graph, root, at),
             BackendRecorder::Annot(a) => reconstruct_tree_latest(&a.store, root, at),
         };
+        self.observe_extract(timer, tree.as_ref());
         close_extract_span(span, at, tree.as_ref());
         tree
+    }
+
+    /// The exposition label for the backend this replay recorded into.
+    fn backend_label(&self) -> &'static str {
+        match self.engine.sink() {
+            BackendRecorder::Graph(_) => "graph",
+            BackendRecorder::Annot(_) => "annot",
+        }
+    }
+
+    /// Starts a wall-clock timer for a tree extraction when the replaying
+    /// engine is metered. Timing is a passive observation — it never feeds
+    /// back into the tree.
+    fn extract_timer(&self) -> Option<std::time::Instant> {
+        self.engine
+            .metrics()
+            .is_enabled()
+            .then(std::time::Instant::now)
+    }
+
+    /// Folds one extraction into `dp_prov_extract_seconds{backend=..}` and
+    /// the tree-size histogram, keyed by the recording backend so graph
+    /// extraction and annotation reconstruction latency stay comparable on
+    /// one scrape.
+    fn observe_extract(&self, timer: Option<std::time::Instant>, tree: Option<&ProvTree>) {
+        let Some(t0) = timer else { return };
+        let m = self.engine.metrics();
+        let backend = self.backend_label();
+        m.time_histogram_with(
+            "dp_prov_extract_seconds",
+            "Provenance tree extraction/reconstruction latency by backend.",
+            &[("backend", backend)],
+        )
+        .observe_duration(t0.elapsed());
+        if let Some(tree) = tree {
+            m.size_histogram_with(
+                "dp_prov_tree_vertices",
+                "Vertices per extracted provenance tree by backend.",
+                &[("backend", backend)],
+            )
+            .observe(tree.len() as u64);
+        }
     }
 
     /// Opens a `prov.extract` span when the replaying engine is traced.
@@ -241,6 +294,7 @@ impl Execution {
             threads: 0,
             shards: 0,
             tracer: Tracer::disabled(),
+            metrics: Metrics::disabled(),
             provenance_backend: ProvBackend::default_from_env(),
             store_mode: StoreMode::default_from_env(),
         }
@@ -262,6 +316,9 @@ impl Execution {
         }
         if self.tracer.is_enabled() {
             engine.set_tracer(self.tracer.clone());
+        }
+        if self.metrics.is_enabled() {
+            engine.set_metrics(self.metrics.clone());
         }
     }
 
@@ -362,6 +419,7 @@ impl Execution {
             threads: self.threads,
             shards: self.shards,
             tracer: self.tracer.clone(),
+            metrics: self.metrics.clone(),
             provenance_backend: self.provenance_backend,
             store_mode: self.store_mode,
         };

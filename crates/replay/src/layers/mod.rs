@@ -47,6 +47,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use dp_metrics::Metrics;
 use dp_ndlog::{Engine, EngineSnapshot, HashSink, ProvenanceSink};
 use dp_types::{Error, LogicalTime, NodeId, Result};
 
@@ -91,6 +92,17 @@ pub fn default_layer_events() -> usize {
             .and_then(|v| v.parse::<usize>().ok())
             .map_or(4096, |n| n.max(1))
     })
+}
+
+/// Starts a wall-clock timer when the process-wide metrics registry is
+/// enabled. Store metering always goes through [`Metrics::global`]: a
+/// store has no per-execution identity (temp stores come and go per
+/// replay), so its gauges describe "the store this process touched last"
+/// and its histograms accumulate across all of them.
+fn store_timer() -> Option<std::time::Instant> {
+    Metrics::global()
+        .is_enabled()
+        .then(std::time::Instant::now)
 }
 
 /// An owned scratch directory under the system temp dir, removed on drop.
@@ -194,6 +206,7 @@ impl DurableStore {
         if events.is_empty() {
             return Ok(0);
         }
+        let timer = store_timer();
         let base = self.next_seq;
         let mut by_node: BTreeMap<NodeId, Vec<SeqEvent>> = BTreeMap::new();
         for (i, e) in events.iter().enumerate() {
@@ -209,6 +222,20 @@ impl DurableStore {
         }
         self.layers.sort_by_key(|l| l.first_seq);
         self.next_seq = base + events.len() as u64;
+        if let Some(t0) = timer {
+            let m = Metrics::global();
+            m.time_histogram(
+                "dp_store_seal_seconds",
+                "Latency of sealing one event chunk into layer files.",
+            )
+            .observe_duration(t0.elapsed());
+            m.counter(
+                "dp_store_sealed_events_total",
+                "Base events sealed into durable layers.",
+            )
+            .add(events.len() as u64);
+            self.observe_sizes(m);
+        }
         Ok(files)
     }
 
@@ -227,11 +254,41 @@ impl DurableStore {
             snapshot,
             file_bytes: 0,
         };
+        let timer = store_timer();
         let path = self.dir.join(checkpoint::checkpoint_file_name(cut));
         cp.file_bytes = checkpoint::write_checkpoint(&path, &cp)?;
         self.checkpoints.push(cp);
         self.checkpoints.sort_by_key(|c| c.cut);
+        if let Some(t0) = timer {
+            let m = Metrics::global();
+            m.time_histogram(
+                "dp_store_checkpoint_seconds",
+                "Latency of writing one durable checkpoint file.",
+            )
+            .observe_duration(t0.elapsed());
+            self.observe_sizes(m);
+        }
         Ok(())
+    }
+
+    /// Folds the store's current file counts and on-disk bytes into the
+    /// size gauges. Called after every seal and checkpoint, so a scrape
+    /// mid-spill watches the store grow.
+    fn observe_sizes(&self, m: &Metrics) {
+        m.gauge("dp_store_layer_files", "Sealed layer files in the store.")
+            .set(self.layer_count() as i64);
+        m.gauge("dp_store_layer_bytes", "On-disk bytes across sealed layer files.")
+            .set(self.layer_bytes() as i64);
+        m.gauge(
+            "dp_store_checkpoint_files",
+            "Durable checkpoint files in the store.",
+        )
+        .set(self.checkpoint_count() as i64);
+        m.gauge(
+            "dp_store_checkpoint_bytes",
+            "On-disk bytes across durable checkpoint files.",
+        )
+        .set(self.checkpoint_bytes() as i64);
     }
 
     /// The newest durable checkpoint, if any.
@@ -435,6 +492,7 @@ impl Execution {
     /// the reference is [`Execution::stream_digest`] itself. Both hold at
     /// any shard/thread/config setting.
     pub fn recovered_stream_digest(&self, store: &DurableStore) -> Result<(u64, u64)> {
+        let timer = store_timer();
         let mut engine = match store.latest_checkpoint() {
             Some(cp) => {
                 let mut engine = Engine::restore(
@@ -455,6 +513,14 @@ impl Execution {
         };
         engine.run()?;
         let sink = engine.into_sink();
+        if let Some(t0) = timer {
+            Metrics::global()
+                .time_histogram(
+                    "dp_store_recovery_seconds",
+                    "Latency of checkpoint restore plus on-disk tail replay.",
+                )
+                .observe_duration(t0.elapsed());
+        }
         Ok((sink.digest(), sink.count))
     }
 

@@ -31,6 +31,17 @@ DP_THREADS=4 cargo test --release --workspace -q
 # suites (which compare provenance streams byte-for-byte) double as the
 # proof that tracing never perturbs evaluation.
 DP_TRACE=1 cargo test --release --workspace -q
+# Metrics pass: the process-wide dp-metrics registry is live for every
+# engine the suite builds. The differential suites (streams and
+# skeletons compared byte-for-byte) double as the proof that metering —
+# counters, histograms, HLL sketches — never perturbs evaluation, and
+# metrics_differential.rs additionally compares explicit enabled vs
+# disabled handles within one process.
+DP_METRICS=1 cargo test --release --workspace -q
+# Scrape smoke test: serve /metrics from a live registry while a replay
+# loop mutates it, validate every scraped exposition, shut down over
+# HTTP.
+cargo run --release -p dp-bench --bin repro -- metrics-smoke
 # Seventh pass with node-sharded evaluation as the default: every engine
 # the suite builds (minus those that pin their own shard count)
 # partitions its node universe across 4 shard workers, and the

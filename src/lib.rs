@@ -52,6 +52,7 @@
 
 pub use diffprov_core as core;
 pub use dp_mapreduce as mapreduce;
+pub use dp_metrics as metrics;
 pub use dp_ndlog as ndlog;
 pub use dp_netcore as netcore;
 pub use dp_provenance as provenance;
